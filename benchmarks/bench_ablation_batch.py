@@ -1,0 +1,66 @@
+"""Ablation: BP rounding batch size r (§IV-C).
+
+The batch changes scheduling only — results must be identical — and on
+the simulated machine it shifts where rounding time goes (nested tasks
+vs one wide team).  The paper found batch=20 best on rameau and neutral
+on wiki.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import average_timing, capture_traces
+from repro.bench.report import format_table
+from repro.core import BPConfig, belief_propagation_align
+from repro.machine import SimulatedRuntime, xeon_e7_8870
+from conftest import FULL_EDGES_WIKI
+
+BATCHES = (1, 4, 10, 20, 40)
+
+
+@pytest.mark.benchmark(group="ablation-batch")
+def test_batch_size_quality_invariance(benchmark, wiki_instance):
+    """Batched rounding must not change the best objective."""
+    problem = wiki_instance.problem
+
+    def run(batch):
+        return belief_propagation_align(
+            problem,
+            BPConfig(n_iter=6, batch=batch, matcher="approx",
+                     final_exact=False),
+        ).objective
+
+    base = benchmark.pedantic(lambda: run(1), rounds=1, iterations=1)
+    for batch in (10, 20):
+        assert np.isclose(run(batch), base)
+
+
+@pytest.mark.benchmark(group="ablation-batch")
+def test_batch_size_simulated_time(benchmark, wiki_instance):
+    topo = xeon_e7_8870()
+
+    def simulate():
+        out = {}
+        for batch in BATCHES:
+            traces = capture_traces(
+                wiki_instance.problem, "bp", batch=batch, n_iter=6,
+                full_size_edges=FULL_EDGES_WIKI,
+            )
+            t40 = average_timing(
+                SimulatedRuntime(topo, 40, "interleave", "scatter"), traces
+            ).total
+            out[batch] = t40
+        return out
+
+    times = benchmark.pedantic(simulate, rounds=1, iterations=1)
+    rows = [[b, f"{t * 1e3:.2f}"] for b, t in times.items()]
+    print()
+    print(
+        format_table(
+            ["batch r", "ms/iteration at 40 threads (simulated)"],
+            rows,
+            title="Ablation — BP rounding batch size (lcsh-wiki)",
+        )
+    )
+    # Wiki finding: batching is roughly neutral (within 2x either way).
+    assert max(times.values()) <= 2.5 * min(times.values())

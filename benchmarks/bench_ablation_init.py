@@ -1,0 +1,55 @@
+"""Ablation: bipartite one-sided vs general matcher initialization (§V).
+
+The paper: "We experimented with an initialization algorithm tailored
+for bipartite graphs by spawning threads only from one of the vertex
+sets ... this initialization noticeably improved the speed."  We measure
+both the adjacency scans the two variants perform (work) and their real
+wall-clock, and verify the matchings are identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.report import format_table
+from repro.matching import locally_dominant_matching
+from repro.sparse.bipartite import BipartiteGraph
+
+
+@pytest.fixture(scope="module")
+def ablation_graph():
+    rng = np.random.default_rng(29)
+    n_a, n_b = 3000, 2000
+    m = 25_000
+    return BipartiteGraph.from_edges(
+        n_a, n_b, rng.integers(0, n_a, m), rng.integers(0, n_b, m),
+        rng.random(m),
+    )
+
+
+@pytest.mark.benchmark(group="ablation-init")
+def test_one_sided_initialization(benchmark, ablation_graph):
+    general = locally_dominant_matching(ablation_graph, init="general")
+    one_sided = benchmark.pedantic(
+        lambda: locally_dominant_matching(ablation_graph, init="one-sided"),
+        rounds=1,
+        iterations=1,
+    )
+    scans_general = sum(r.adjacency_scanned for r in general.rounds)
+    scans_one_sided = sum(r.adjacency_scanned for r in one_sided.rounds)
+    print()
+    print(
+        format_table(
+            ["init", "adjacency scans", "phase-1 queue", "|M|", "weight"],
+            [
+                ["general", scans_general, general.rounds[0].queue_size,
+                 general.cardinality, f"{general.weight:.1f}"],
+                ["one-sided", scans_one_sided, one_sided.rounds[0].queue_size,
+                 one_sided.cardinality, f"{one_sided.weight:.1f}"],
+            ],
+            title="Ablation — locally-dominant initialization (§V)",
+        )
+    )
+    # Identical matchings (distinct weights).
+    assert np.array_equal(general.mate_a, one_sided.mate_a)
+    # The bipartite-tailored init does strictly less scanning.
+    assert scans_one_sided < scans_general

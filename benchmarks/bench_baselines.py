@@ -1,0 +1,67 @@
+"""Baseline comparison: LP relaxation and IsoRank vs the paper's methods.
+
+§III positions the iterative methods against the straightforward
+LP-relax-and-round procedure ("Both of the algorithms below outperform
+this procedure"); IsoRank-style spectral scoring is the method behind the
+dmela-scere dataset.  This bench verifies the ordering on a synthetic
+instance and reports the quality ladder.
+"""
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.core import (
+    BPConfig,
+    IsoRankConfig,
+    KlauConfig,
+    belief_propagation_align,
+    isorank_align,
+    klau_align,
+    lp_relaxation_align,
+)
+from repro.generators import powerlaw_alignment_instance
+
+
+@pytest.fixture(scope="module")
+def baseline_instance():
+    return powerlaw_alignment_instance(n=120, expected_degree=8, seed=37)
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_quality_ladder(benchmark, baseline_instance):
+    p = baseline_instance.problem
+    ref = baseline_instance.reference_objective()
+
+    def run_all():
+        return {
+            "lp-relax": lp_relaxation_align(p),
+            "isorank": isorank_align(p, IsoRankConfig()),
+            "mr": klau_align(p, KlauConfig(n_iter=50)),
+            "bp": belief_propagation_align(p, BPConfig(n_iter=50)),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        [name,
+         f"{res.objective / ref:.3f}",
+         f"{baseline_instance.fraction_correct(res.matching.mate_a):.3f}"]
+        for name, res in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["method", "objective / reference", "fraction correct"],
+            rows,
+            title="Baselines — quality ladder (n=120, dbar=8)",
+        )
+    )
+    # §III's ordering: both iterative methods beat the LP baseline; the
+    # spectral one-shot baseline does not beat them either.
+    assert results["bp"].objective >= results["lp-relax"].objective - 1e-9
+    assert results["mr"].objective >= results["lp-relax"].objective - 1e-9
+    assert results["bp"].objective >= results["isorank"].objective - 1e-9
+    # LP value is a valid upper bound for everything.
+    for name in ("bp", "mr", "isorank"):
+        assert results[name].objective <= (
+            results["lp-relax"].best_upper_bound + 1e-6
+        )

@@ -1,0 +1,62 @@
+"""Figure 2: solution quality vs expected degree d̄ (§VII).
+
+Paper shape: BP with exact and approximate rounding indistinguishable;
+MR with exact rounding recovers the identity; MR with approximate
+rounding degrades.  We run a reduced d̄ grid with fewer iterations than
+the paper's 1000 (quality plateaus far earlier on these instances).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import fig2_quality
+from repro.bench.report import format_table
+
+DEGREES = (4.0, 10.0, 16.0)
+
+
+@pytest.fixture(scope="module")
+def fig2_points():
+    return fig2_quality(
+        degrees=DEGREES, n=200, n_iter_mr=60, n_iter_bp=60, seed=7
+    )
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_quality_sweep(benchmark, fig2_points):
+    # Benchmark one representative quality point (BP-approx at d̄=10).
+    benchmark.pedantic(
+        lambda: fig2_quality(
+            degrees=(10.0,), n=200, n_iter_mr=5, n_iter_bp=30, seed=7,
+            methods=("bp-approx",),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    points = fig2_points
+    rows = [
+        [p.method, f"{p.expected_degree:g}",
+         f"{p.objective_fraction:.3f}", f"{p.fraction_correct:.3f}"]
+        for p in points
+    ]
+    print()
+    print(
+        format_table(
+            ["method", "dbar", "objective fraction", "fraction correct"],
+            rows,
+            title="Figure 2 — quality vs expected degree (n=200, a=1, b=2)",
+        )
+    )
+    by = {(p.method, p.expected_degree): p for p in points}
+    for d in DEGREES:
+        bp_e = by[("bp-exact", d)]
+        bp_a = by[("bp-approx", d)]
+        mr_e = by[("mr-exact", d)]
+        mr_a = by[("mr-approx", d)]
+        # BP ± approx indistinguishable.
+        assert abs(bp_e.objective_fraction - bp_a.objective_fraction) < 0.05
+        # Exact methods recover (nearly) the reference objective.
+        assert bp_e.objective_fraction > 0.9
+        assert mr_e.objective_fraction > 0.9
+        # MR is the method sensitive to the approximation.
+        assert mr_a.objective_fraction <= mr_e.objective_fraction + 0.02

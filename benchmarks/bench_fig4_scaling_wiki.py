@@ -1,0 +1,73 @@
+"""Figure 4: strong scaling on lcsh-wiki (simulated E7-8870).
+
+Paper shape: interleaved memory scales best (~15x at 40 threads), bound
+memory saturates around one socket, nothing meaningful past 40–80
+threads, batch size has little effect on wiki.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import scaling_table
+from repro.bench.report import format_table
+from conftest import FULL_EDGES_WIKI
+
+from repro.bench.figures import capture_traces
+
+THREADS = (1, 2, 5, 10, 20, 40, 60, 80)
+
+
+@pytest.fixture(scope="module")
+def fig4_curves(wiki_instance, wiki_bp20_traces, wiki_mr_traces):
+    curves = {}
+    curves["mr"] = scaling_table(
+        wiki_mr_traces, thread_counts=THREADS, label="mr"
+    )
+    curves["bp(batch=20)"] = scaling_table(
+        wiki_bp20_traces, thread_counts=THREADS, label="bp20"
+    )
+    bp1 = capture_traces(
+        wiki_instance.problem, "bp", batch=1, n_iter=4,
+        full_size_edges=FULL_EDGES_WIKI,
+    )
+    curves["bp(batch=1)"] = scaling_table(
+        bp1, thread_counts=THREADS, label="bp1"
+    )
+    return curves
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_strong_scaling(benchmark, wiki_bp20_traces, fig4_curves):
+    benchmark.pedantic(
+        lambda: scaling_table(
+            wiki_bp20_traces, thread_counts=(1, 40),
+            layouts=(("interleave", "scatter"),),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for method, curves in fig4_curves.items():
+        for c in curves:
+            rows.append([c.label] + [f"{s:.1f}" for s in c.speedups])
+    print()
+    print(
+        format_table(
+            ["configuration"] + [f"p={t}" for t in THREADS],
+            rows,
+            title="Figure 4 — strong scaling, lcsh-wiki (speedup vs best 1-thread)",
+        )
+    )
+    for method, curves in fig4_curves.items():
+        by = {c.label.split("[")[1].rstrip("]"): c for c in curves}
+        inter = by["interleave/scatter"].speedups
+        bound = by["bound/scatter"].speedups
+        i40 = inter[THREADS.index(40)]
+        # Paper: roughly 15-fold at 40 threads with interleave.
+        assert 7.0 <= i40 <= 30.0, (method, i40)
+        # Interleave beats bound at scale.
+        assert i40 > bound[THREADS.index(40)]
+        # Saturation: 80 threads gains < 1.6x over 40.
+        assert inter[THREADS.index(80)] <= 1.6 * i40
+        # Bound saturates around a socket.
+        assert bound[THREADS.index(40)] <= 1.5 * bound[THREADS.index(10)]

@@ -1,0 +1,60 @@
+"""Figure 6: per-step strong scaling of Klau's method on lcsh-wiki.
+
+Paper shape: at 40 threads the row-match and matching steps each take
+~40% of the runtime, and the (approximate bipartite) matching limits
+overall scalability.
+"""
+
+import pytest
+
+from repro.bench.figures import average_timing
+from repro.bench.report import format_table
+from repro.machine import SimulatedRuntime, xeon_e7_8870
+
+THREADS = (1, 2, 5, 10, 20, 40, 60, 80)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_mr_step_scaling(benchmark, wiki_mr_traces):
+    topo = xeon_e7_8870()
+    base = benchmark.pedantic(
+        lambda: average_timing(
+            SimulatedRuntime(topo, 1, "bound", "compact"), wiki_mr_traces
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    series = {name: [] for name in base.per_step}
+    shares_at_40 = {}
+    for nt in THREADS:
+        timing = average_timing(
+            SimulatedRuntime(topo, nt, "interleave", "scatter"),
+            wiki_mr_traces,
+        )
+        for name in series:
+            t = timing.per_step.get(name, 0.0)
+            series[name].append(base.per_step[name] / t if t > 0 else 0.0)
+        if nt == 40:
+            shares_at_40 = {
+                k: v / timing.total for k, v in timing.per_step.items()
+            }
+    rows = [
+        [name] + [f"{s:.1f}" for s in speedups]
+        for name, speedups in series.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["step"] + [f"p={t}" for t in THREADS],
+            rows,
+            title="Figure 6 — per-step speedups, Klau MR on lcsh-wiki",
+        )
+    )
+    print("Step shares at 40 threads:",
+          {k: f"{v:.0%}" for k, v in shares_at_40.items()})
+    # Paper: row match + matching together dominate the 40-thread time.
+    assert shares_at_40["row_match"] + shares_at_40["match"] > 0.5
+    # The matching step scales worse than the embarrassingly parallel
+    # daxpy step (it has rounds, barriers, and shrinking queues).
+    idx40 = THREADS.index(40)
+    assert series["match"][idx40] <= series["daxpy"][idx40] * 1.5

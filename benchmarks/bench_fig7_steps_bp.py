@@ -1,0 +1,61 @@
+"""Figure 7: per-step strong scaling of BP(batch=20) on lcsh-wiki.
+
+Paper shape at 40 threads: othermax ≈ 15% of runtime, matching
+(rounding) ≈ 58%, damping ≈ 12% and memory-bandwidth-bound.
+"""
+
+import pytest
+
+from repro.bench.figures import average_timing
+from repro.bench.report import format_table
+from repro.machine import SimulatedRuntime, xeon_e7_8870
+
+THREADS = (1, 2, 5, 10, 20, 40, 60, 80)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_bp_step_scaling(benchmark, wiki_bp20_traces):
+    topo = xeon_e7_8870()
+    base = benchmark.pedantic(
+        lambda: average_timing(
+            SimulatedRuntime(topo, 1, "bound", "compact"), wiki_bp20_traces
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    series = {name: [] for name in base.per_step}
+    shares_at_40 = {}
+    for nt in THREADS:
+        timing = average_timing(
+            SimulatedRuntime(topo, nt, "interleave", "scatter"),
+            wiki_bp20_traces,
+        )
+        for name in series:
+            t = timing.per_step.get(name, 0.0)
+            series[name].append(base.per_step[name] / t if t > 0 else 0.0)
+        if nt == 40:
+            shares_at_40 = {
+                k: v / timing.total for k, v in timing.per_step.items()
+            }
+    rows = [
+        [name] + [f"{s:.1f}" for s in speedups]
+        for name, speedups in series.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["step"] + [f"p={t}" for t in THREADS],
+            rows,
+            title="Figure 7 — per-step speedups, BP(batch=20) on lcsh-wiki",
+        )
+    )
+    print("Step shares at 40 threads:",
+          {k: f"{v:.0%}" for k, v in shares_at_40.items()})
+    # Paper: rounding dominates (58%), othermax ~15%, damping ~12%.
+    assert shares_at_40["rounding"] > 0.4
+    assert 0.05 <= shares_at_40["othermax"] <= 0.35
+    assert 0.03 <= shares_at_40["damping"] <= 0.30
+    # Damping is bandwidth-bound: it must scale worse than compute-bound
+    # steps at high thread counts.
+    idx = THREADS.index(80)
+    assert series["damping"][idx] <= series["update_s"][idx] * 1.2

@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark suite.
+
+Heavy inputs (problem instances, captured traces) are session-cached so
+each bench file pays construction cost once.  Scales are chosen so the
+full suite runs in minutes; every printed report states the scale used.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import capture_traces
+from repro.generators import dmela_scere, lcsh_rameau, lcsh_wiki
+
+WIKI_SCALE = 0.01
+RAMEAU_SCALE = 0.004
+FULL_EDGES_WIKI = 4_971_629
+FULL_EDGES_RAMEAU = 20_883_500
+
+
+@pytest.fixture(scope="session")
+def wiki_instance():
+    """Reduced-scale lcsh-wiki stand-in (Table II row 3)."""
+    return lcsh_wiki(scale=WIKI_SCALE, seed=3)
+
+
+@pytest.fixture(scope="session")
+def rameau_instance():
+    """Reduced-scale lcsh-rameau stand-in (Table II row 4)."""
+    return lcsh_rameau(scale=RAMEAU_SCALE, seed=3)
+
+
+@pytest.fixture(scope="session")
+def bio_small_instance():
+    """Reduced dmela-scere for the Fig 3 sweep."""
+    return dmela_scere(scale=0.15, seed=3)
+
+
+@pytest.fixture(scope="session")
+def wiki_bp20_traces(wiki_instance):
+    """BP(batch=20) traces on wiki, extrapolated to full size."""
+    return capture_traces(
+        wiki_instance.problem, "bp", batch=20, n_iter=8,
+        full_size_edges=FULL_EDGES_WIKI,
+    )
+
+
+@pytest.fixture(scope="session")
+def wiki_mr_traces(wiki_instance):
+    """Klau MR traces on wiki, extrapolated to full size."""
+    return capture_traces(
+        wiki_instance.problem, "mr", n_iter=4,
+        full_size_edges=FULL_EDGES_WIKI,
+    )

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Align two protein-protein interaction networks (dmela-scere style).
+
+Reproduces the paper's bioinformatics use case on a synthetic stand-in
+sized like the fly–yeast instance of Table II: two power-law PPI
+networks, a hidden ortholog map, and a sequence-similarity candidate
+graph L.  Compares the exact and approximate rounding variants of both
+methods — the experiment behind Figure 3 (top).
+
+Run:  python examples/bioinformatics_alignment.py [--scale 0.25]
+"""
+
+import argparse
+import time
+
+from repro import (
+    BPConfig,
+    KlauConfig,
+    belief_propagation_align,
+    dmela_scere,
+    klau_align,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="fraction of the Table II sizes (1.0 = full)")
+    parser.add_argument("--iters", type=int, default=40)
+    args = parser.parse_args()
+
+    print(f"generating dmela-scere stand-in at scale {args.scale} ...")
+    instance = dmela_scere(scale=args.scale, seed=7)
+    problem = instance.problem
+    print(problem.stats().as_row())
+    print()
+
+    header = (f"{'method':24s} {'objective':>10s} {'w^T x':>8s} "
+              f"{'overlap':>8s} {'orthologs':>10s} {'time':>7s}")
+    print(header)
+    print("-" * len(header))
+    configs = [
+        ("bp (approx rounding)",
+         lambda: belief_propagation_align(
+             problem, BPConfig(n_iter=args.iters, matcher="approx"))),
+        ("bp (exact rounding)",
+         lambda: belief_propagation_align(
+             problem, BPConfig(n_iter=args.iters, matcher="exact"))),
+        ("mr (approx rounding)",
+         lambda: klau_align(
+             problem, KlauConfig(n_iter=args.iters, matcher="approx"))),
+        ("mr (exact rounding)",
+         lambda: klau_align(
+             problem, KlauConfig(n_iter=args.iters, matcher="exact"))),
+    ]
+    for name, run in configs:
+        t0 = time.perf_counter()
+        res = run()
+        dt = time.perf_counter() - t0
+        recovered = instance.fraction_correct(res.matching.mate_a)
+        print(f"{name:24s} {res.objective:10.2f} {res.weight_part:8.2f} "
+              f"{res.overlap_part:8.0f} {recovered:10.3f} {dt:6.1f}s")
+    print()
+    print("Expected shape (paper §VII): the two BP rows are nearly")
+    print("identical; MR is the method sensitive to approximate rounding.")
+
+
+if __name__ == "__main__":
+    main()

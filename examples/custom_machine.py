@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""What-if study: run the alignment workload on hypothetical machines.
+
+The machine model is parametric, so we can ask questions the paper's
+hardware could not: what if the Xeon had twice the per-socket memory
+bandwidth?  What if the QPI remote penalty were eliminated?  What does a
+single-socket version do?  This is the kind of analysis the trace-driven
+substitution makes cheap.
+
+Run:  python examples/custom_machine.py
+"""
+
+from repro import SimulatedRuntime, powerlaw_alignment_instance
+from repro.bench.figures import average_timing, capture_traces
+from repro.machine.topology import single_socket_xeon, xeon_e7_8870
+
+
+def main() -> None:
+    instance = powerlaw_alignment_instance(n=300, expected_degree=8, seed=1)
+    traces = capture_traces(
+        instance.problem, "bp", batch=10, n_iter=6,
+        full_size_edges=2_000_000,
+    )
+
+    machines = {
+        "e7-8870 (the paper's)": xeon_e7_8870(),
+        "2x memory bandwidth": xeon_e7_8870(dram_bw_per_socket=44e9),
+        "no NUMA penalty": xeon_e7_8870(remote_latency_factor=1.0),
+        "single socket, 10 cores": single_socket_xeon(),
+    }
+    threads_grid = (1, 10, 20, 40, 80)
+    print(f"{'machine':26s} " + " ".join(f"p={t:<4d}" for t in threads_grid))
+    for name, topo in machines.items():
+        base = average_timing(
+            SimulatedRuntime(topo, 1, "bound", "compact"), traces
+        ).total
+        speedups = []
+        for p in threads_grid:
+            if p > topo.max_threads:
+                speedups.append("  -  ")
+                continue
+            t = average_timing(
+                SimulatedRuntime(topo, p, "interleave", "scatter"), traces
+            ).total
+            speedups.append(f"{base / t:5.1f}")
+        print(f"{name:26s} " + " ".join(speedups))
+
+    print()
+    print("Reading: extra bandwidth mostly helps past 20 threads (the")
+    print("damping/rounding steps are bandwidth-bound there); removing")
+    print("the NUMA penalty mainly lifts the interleaved 1-thread cost.")
+
+
+if __name__ == "__main__":
+    main()

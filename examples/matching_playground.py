@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""The matching substrate on its own: exact vs ½-approximate.
+
+Network alignment spends most of its time in bipartite max-weight
+matching, and the paper's core move is swapping the exact solver for the
+locally-dominant ½-approximation (§V).  This example runs both on random
+graphs of growing size and reports quality and runtime — showing why the
+swap is nearly free in quality and large in speed.
+
+Run:  python examples/matching_playground.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    greedy_matching,
+    locally_dominant_matching,
+    locally_dominant_matching_vectorized,
+    max_weight_matching,
+)
+from repro.sparse.bipartite import BipartiteGraph
+
+
+def random_graph(n: int, avg_degree: int, seed: int) -> BipartiteGraph:
+    rng = np.random.default_rng(seed)
+    m = n * avg_degree
+    return BipartiteGraph.from_edges(
+        n, n, rng.integers(0, n, m), rng.integers(0, n, m), rng.random(m)
+    )
+
+
+def main() -> None:
+    print(f"{'n':>6s} {'|E|':>8s} {'exact w':>10s} {'LD w':>10s} "
+          f"{'ratio':>6s} {'t_exact':>8s} {'t_LD':>8s} {'rounds':>6s}")
+    for n in (500, 2000, 8000):
+        g = random_graph(n, 10, seed=n)
+        t0 = time.perf_counter()
+        exact = max_weight_matching(g, dense_cutoff=0)
+        t_exact = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        approx = locally_dominant_matching_vectorized(g)
+        t_approx = time.perf_counter() - t0
+        print(f"{n:6d} {g.n_edges:8d} {exact.weight:10.2f} "
+              f"{approx.weight:10.2f} {approx.weight / exact.weight:6.3f} "
+              f"{t_exact:7.2f}s {t_approx:7.2f}s {len(approx.rounds):6d}")
+
+    print()
+    print("Implementation agreement (distinct weights => identical output):")
+    g = random_graph(1000, 8, seed=99)
+    queue = locally_dominant_matching(g)
+    one_sided = locally_dominant_matching(g, init="one-sided")
+    vectorized = locally_dominant_matching_vectorized(g)
+    greedy = greedy_matching(g)
+    assert np.array_equal(queue.mate_a, vectorized.mate_a)
+    assert np.array_equal(queue.mate_a, one_sided.mate_a)
+    assert np.array_equal(queue.mate_a, greedy.mate_a)
+    print("  queue == one-sided == vectorized == sorted-greedy  (verified)")
+
+    scans_general = sum(r.adjacency_scanned for r in queue.rounds)
+    scans_one = sum(r.adjacency_scanned for r in one_sided.rounds)
+    print(f"  adjacency scans: general init {scans_general:,} vs "
+          f"one-sided {scans_one:,} "
+          f"({scans_general / scans_one:.2f}x; paper: 'noticeably faster')")
+
+
+if __name__ == "__main__":
+    main()

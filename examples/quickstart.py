@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: align two perturbed copies of a power-law graph.
+
+This is the paper's §VI-A setup in miniature: a base graph G is perturbed
+into A and B, the candidate graph L contains the identity matching plus
+random noise, and we ask both alignment heuristics to recover the planted
+correspondence.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BPConfig,
+    KlauConfig,
+    belief_propagation_align,
+    klau_align,
+    powerlaw_alignment_instance,
+)
+
+
+def main() -> None:
+    # A 300-vertex instance with 6 random candidate edges per vertex.
+    instance = powerlaw_alignment_instance(
+        n=300, expected_degree=6.0, alpha=1.0, beta=2.0, seed=42
+    )
+    problem = instance.problem
+    stats = problem.stats()
+    print(f"problem: |V_A|={stats.n_a} |V_B|={stats.n_b} "
+          f"|E_L|={stats.n_edges_l} nnz(S)={stats.nnz_s}")
+    print(f"identity-alignment objective: {instance.reference_objective():.1f}")
+    print()
+
+    # Belief propagation with the parallel-friendly approximate rounding
+    # (the paper's recommended configuration).
+    bp = belief_propagation_align(
+        problem, BPConfig(n_iter=60, matcher="approx", batch=10)
+    )
+    print("BP  :", bp.summary())
+    print(f"      fraction of planted pairs recovered: "
+          f"{instance.fraction_correct(bp.matching.mate_a):.3f}")
+
+    # Klau's matching relaxation with exact rounding (slower, gives an
+    # upper bound alongside the solution).
+    mr = klau_align(problem, KlauConfig(n_iter=60, matcher="exact"))
+    print("MR  :", mr.summary())
+    print(f"      upper bound: {mr.best_upper_bound:.1f} "
+          f"(gap {mr.best_upper_bound - mr.objective:.1f})")
+    print(f"      fraction of planted pairs recovered: "
+          f"{instance.fraction_correct(mr.matching.mate_a):.3f}")
+
+
+if __name__ == "__main__":
+    main()

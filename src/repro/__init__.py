@@ -1,0 +1,85 @@
+"""netalign-mc-py: network alignment via approximate matching (SC 2012).
+
+A from-scratch Python reproduction of Khan, Gleich, Pothen &
+Halappanavar, *"A multithreaded algorithm for network alignment via
+approximate matching"* (SC 2012): the belief-propagation and Klau
+matching-relaxation alignment heuristics, exact and locally-dominant
+½-approximate bipartite matching, the paper's problem families, and a
+trace-driven simulated NUMA machine reproducing its strong-scaling study.
+
+Quick start::
+
+    from repro import powerlaw_alignment_instance, belief_propagation_align
+
+    inst = powerlaw_alignment_instance(n=400, expected_degree=6, seed=0)
+    result = belief_propagation_align(inst.problem)
+    print(result.summary())
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro.core import (
+    AlignmentResult,
+    BPConfig,
+    KlauConfig,
+    NetworkAlignmentProblem,
+    belief_propagation_align,
+    klau_align,
+    lp_relaxation_align,
+    round_heuristic,
+)
+from repro.generators import (
+    AlignmentInstance,
+    bio_instance,
+    dmela_scere,
+    homo_musm,
+    lcsh_rameau,
+    lcsh_wiki,
+    ontology_instance,
+    powerlaw_alignment_instance,
+    powerlaw_graph,
+)
+from repro.graph import Graph
+from repro.machine import SimulatedRuntime, xeon_e7_8870
+from repro.matching import (
+    MatchingResult,
+    greedy_matching,
+    locally_dominant_matching,
+    locally_dominant_matching_vectorized,
+    max_weight_matching,
+)
+from repro.sparse import BipartiteGraph, CSRMatrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlignmentInstance",
+    "AlignmentResult",
+    "BPConfig",
+    "BipartiteGraph",
+    "CSRMatrix",
+    "Graph",
+    "KlauConfig",
+    "MatchingResult",
+    "NetworkAlignmentProblem",
+    "SimulatedRuntime",
+    "__version__",
+    "belief_propagation_align",
+    "bio_instance",
+    "dmela_scere",
+    "greedy_matching",
+    "homo_musm",
+    "klau_align",
+    "lcsh_rameau",
+    "lcsh_wiki",
+    "locally_dominant_matching",
+    "locally_dominant_matching_vectorized",
+    "lp_relaxation_align",
+    "max_weight_matching",
+    "ontology_instance",
+    "powerlaw_alignment_instance",
+    "powerlaw_graph",
+    "round_heuristic",
+    "xeon_e7_8870",
+]

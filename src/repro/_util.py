@@ -1,0 +1,60 @@
+"""Small internal helpers shared across :mod:`repro` subpackages."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "as_rng",
+    "asarray_i64",
+    "asarray_f64",
+    "check_same_length",
+    "counting_sort_pairs",
+]
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Accepts ``None`` (fresh entropy), an integer seed, or an existing
+    generator (returned unchanged so callers can thread one RNG through a
+    pipeline deterministically).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def asarray_i64(values: Iterable[int] | np.ndarray) -> np.ndarray:
+    """Return ``values`` as a contiguous ``int64`` array (copy only if needed)."""
+    return np.ascontiguousarray(values, dtype=np.int64)
+
+
+def asarray_f64(values: Iterable[float] | np.ndarray) -> np.ndarray:
+    """Return ``values`` as a contiguous ``float64`` array (copy only if needed)."""
+    return np.ascontiguousarray(values, dtype=np.float64)
+
+
+def check_same_length(*arrays: Sequence | np.ndarray) -> int:
+    """Return the common length of ``arrays`` or raise ``ValueError``."""
+    lengths = {len(a) for a in arrays}
+    if len(lengths) > 1:
+        raise ValueError(f"arrays have mismatched lengths: {sorted(lengths)}")
+    return lengths.pop() if lengths else 0
+
+
+def counting_sort_pairs(
+    primary: np.ndarray, secondary: np.ndarray, n_primary: int
+) -> np.ndarray:
+    """Return a stable permutation sorting by ``(primary, secondary)``.
+
+    Both keys must be non-negative integers, ``primary`` < ``n_primary``.
+    This is the standard two-pass radix used to build CSR structures in
+    linear time; it keeps hot loops inside NumPy.
+    """
+    order_secondary = np.argsort(secondary, kind="stable")
+    return order_secondary[
+        np.argsort(primary[order_secondary], kind="stable")
+    ]

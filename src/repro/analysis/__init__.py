@@ -1,0 +1,43 @@
+"""Alignment analysis: solution metrics and convergence diagnostics.
+
+Network alignment outputs need interpretation (the paper's §IX framing:
+the objective "is only an approximation for most users' true goal").
+This package provides the standard post-hoc measures:
+
+* :mod:`~repro.analysis.metrics` — correctness vs a reference alignment,
+  edge correctness / induced conserved structure, node coverage, and the
+  objective decomposition.
+* :mod:`~repro.analysis.convergence` — iteration-trace diagnostics:
+  best-so-far curves, oscillation measures, Klau duality gaps, and
+  stopping-criterion analysis (§III-C: "no simple stopping criteria is
+  possible").
+"""
+
+from repro.analysis.comparison import AlignmentComparison, compare_alignments
+from repro.analysis.convergence import (
+    best_so_far,
+    duality_gap_trace,
+    oscillation_index,
+    plateau_iteration,
+)
+from repro.analysis.metrics import (
+    alignment_report,
+    edge_correctness,
+    induced_conserved_structure,
+    node_coverage,
+    pair_correctness,
+)
+
+__all__ = [
+    "AlignmentComparison",
+    "alignment_report",
+    "best_so_far",
+    "compare_alignments",
+    "duality_gap_trace",
+    "edge_correctness",
+    "induced_conserved_structure",
+    "node_coverage",
+    "oscillation_index",
+    "pair_correctness",
+    "plateau_iteration",
+]

@@ -1,0 +1,78 @@
+"""Comparing alignments with each other.
+
+The paper's §VII studies *pairs* of solution sets (exact vs approximate
+rounding); steering sessions (§IX) produce sequences of solutions.  This
+module quantifies how two alignments differ: pairwise agreement, Jaccard
+similarity of the matched-pair sets, and the explicit disagreement list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import asarray_i64
+from repro.errors import DimensionError
+
+__all__ = ["AlignmentComparison", "compare_alignments"]
+
+
+@dataclass(frozen=True)
+class AlignmentComparison:
+    """Summary of how two mate arrays relate.
+
+    ``agreement`` is over A-vertices matched by *both* (same partner);
+    ``jaccard`` is |pairs∩| / |pairs∪| over the matched-pair sets;
+    ``only_first``/``only_second`` count vertices matched by exactly one.
+    """
+
+    n_vertices: int
+    both_matched: int
+    agreement: float
+    jaccard: float
+    only_first: int
+    only_second: int
+    disagreements: tuple[tuple[int, int, int], ...]
+
+    def as_text(self) -> str:
+        """Human-readable summary."""
+        return (
+            f"both matched        {self.both_matched}/{self.n_vertices}\n"
+            f"agreement           {self.agreement:.3f}\n"
+            f"jaccard             {self.jaccard:.3f}\n"
+            f"matched only by 1st {self.only_first}\n"
+            f"matched only by 2nd {self.only_second}\n"
+            f"disagreements       {len(self.disagreements)}"
+        )
+
+
+def compare_alignments(
+    mate_a_first: np.ndarray, mate_a_second: np.ndarray
+) -> AlignmentComparison:
+    """Compare two A-side mate arrays of the same problem."""
+    first = asarray_i64(mate_a_first)
+    second = asarray_i64(mate_a_second)
+    if first.shape != second.shape:
+        raise DimensionError("mate arrays have different lengths")
+    n = len(first)
+    m1 = first >= 0
+    m2 = second >= 0
+    both = m1 & m2
+    same = both & (first == second)
+    pairs_union = int(m1.sum() + m2.sum() - same.sum())
+    disagreements = tuple(
+        (int(a), int(first[a]), int(second[a]))
+        for a in np.flatnonzero(both & (first != second)).tolist()
+    )
+    return AlignmentComparison(
+        n_vertices=n,
+        both_matched=int(both.sum()),
+        agreement=float(same[both].mean()) if both.any() else 1.0,
+        jaccard=(
+            float(same.sum() / pairs_union) if pairs_union else 1.0
+        ),
+        only_first=int((m1 & ~m2).sum()),
+        only_second=int((m2 & ~m1).sum()),
+        disagreements=disagreements,
+    )

@@ -1,0 +1,75 @@
+"""Convergence diagnostics over iteration histories (§III-C).
+
+The paper: *"Both algorithms generate a sequence of heuristic weight
+vectors whose solution quality varies continually.  There is no
+monotonicity in the solution quality ... no simple stopping criteria is
+possible."*  These helpers quantify that behaviour from an
+:class:`~repro.core.result.AlignmentResult` history: best-so-far curves,
+an oscillation index, plateau detection, and Klau's duality-gap trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import AlignmentResult
+from repro.errors import ValidationError
+
+__all__ = [
+    "best_so_far",
+    "oscillation_index",
+    "plateau_iteration",
+    "duality_gap_trace",
+]
+
+
+def best_so_far(result: AlignmentResult) -> np.ndarray:
+    """Running maximum of the rounded objective (monotone by definition)."""
+    objs = result.objective_trace()
+    if len(objs) == 0:
+        raise ValidationError("result has no iteration history")
+    return np.maximum.accumulate(objs)
+
+
+def oscillation_index(result: AlignmentResult) -> float:
+    """How non-monotone the raw objective sequence is, in [0, 1].
+
+    0 = monotone non-decreasing; 1 = every step moves against the trend.
+    Computed as the fraction of iterations whose objective *decreases*
+    relative to the previous one.
+    """
+    objs = result.objective_trace()
+    if len(objs) < 2:
+        return 0.0
+    return float((np.diff(objs) < 0).mean())
+
+
+def plateau_iteration(
+    result: AlignmentResult, tolerance: float = 1e-9
+) -> int:
+    """First iteration after which the best objective never improves.
+
+    This is the empirical answer to "how many iterations did we actually
+    need" — the paper runs 400–1000 because no stopping rule exists, but
+    the plateau typically arrives much earlier.
+    """
+    curve = best_so_far(result)
+    final = curve[-1]
+    hits = np.flatnonzero(curve >= final - tolerance)
+    return int(result.history[hits[0]].iteration)
+
+
+def duality_gap_trace(result: AlignmentResult) -> np.ndarray:
+    """Klau's per-iteration gap: best upper bound so far − best objective.
+
+    Only meaningful for MR results (BP records no upper bounds — the
+    trace is all-NaN there).  A gap that reaches zero certifies global
+    optimality (§III-A).
+    """
+    uppers = result.upper_bound_trace()
+    objs = result.objective_trace()
+    if len(uppers) == 0:
+        raise ValidationError("result has no iteration history")
+    best_upper = np.fmin.accumulate(uppers)
+    best_obj = np.maximum.accumulate(objs)
+    return best_upper - best_obj

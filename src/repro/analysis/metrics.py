@@ -1,0 +1,146 @@
+"""Solution-quality metrics for alignments.
+
+These are the measures the network-alignment literature reports alongside
+the raw objective (cf. the bioinformatics applications in §I/§VI): how
+much of a trusted reference is recovered, how much graph structure the
+alignment conserves, and how completely the vertex sets are covered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import asarray_i64
+from repro.core.problem import NetworkAlignmentProblem
+from repro.errors import DimensionError
+from repro.matching.result import MatchingResult
+
+__all__ = [
+    "pair_correctness",
+    "edge_correctness",
+    "induced_conserved_structure",
+    "node_coverage",
+    "AlignmentReport",
+    "alignment_report",
+]
+
+
+def pair_correctness(
+    mate_a: np.ndarray, reference_mate_a: np.ndarray
+) -> float:
+    """Fraction of reference pairs recovered (a.k.a. node correctness).
+
+    Vertices without a reference partner (``-1``) are excluded from the
+    denominator.
+    """
+    mate_a = asarray_i64(mate_a)
+    reference = asarray_i64(reference_mate_a)
+    if mate_a.shape != reference.shape:
+        raise DimensionError("mate arrays have different lengths")
+    known = reference >= 0
+    if not known.any():
+        return 0.0
+    return float((mate_a[known] == reference[known]).mean())
+
+
+def edge_correctness(
+    problem: NetworkAlignmentProblem, matching: MatchingResult
+) -> float:
+    """Fraction of A's edges mapped onto B edges (EC measure).
+
+    ``EC = overlapped edges / |E_A|`` — the standard normalization in the
+    PPI-alignment literature (GRAAL and successors).
+    """
+    if problem.a_graph.m == 0:
+        return 0.0
+    x = matching.indicator(problem.n_edges_l)
+    return problem.overlap(x) / problem.a_graph.m
+
+
+def induced_conserved_structure(
+    problem: NetworkAlignmentProblem, matching: MatchingResult
+) -> float:
+    """ICS: overlapped edges / edges of B induced by the matched image.
+
+    Penalizes mapping sparse regions of A onto dense regions of B (an
+    alignment can have high EC but low ICS).
+    """
+    mate_a = matching.mate_a
+    matched_b = mate_a[mate_a >= 0]
+    if len(matched_b) == 0:
+        return 0.0
+    in_image = np.zeros(problem.b_graph.n, dtype=bool)
+    in_image[matched_b] = True
+    induced = int(
+        (in_image[problem.b_graph.edge_u] & in_image[problem.b_graph.edge_v]).sum()
+    )
+    if induced == 0:
+        return 0.0
+    x = matching.indicator(problem.n_edges_l)
+    return problem.overlap(x) / induced
+
+
+def node_coverage(
+    problem: NetworkAlignmentProblem, matching: MatchingResult
+) -> tuple[float, float]:
+    """Fraction of A-vertices and B-vertices covered by the matching."""
+    covered_a = float((matching.mate_a >= 0).mean()) if problem.ell.n_a else 0.0
+    covered_b = float((matching.mate_b >= 0).mean()) if problem.ell.n_b else 0.0
+    return covered_a, covered_b
+
+
+@dataclass(frozen=True)
+class AlignmentReport:
+    """Bundle of all metrics for one solution."""
+
+    objective: float
+    weight: float
+    overlap: float
+    edge_correctness: float
+    induced_conserved_structure: float
+    coverage_a: float
+    coverage_b: float
+    pair_correctness: float | None
+
+    def as_text(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"objective             {self.objective:.3f}",
+            f"matching weight       {self.weight:.3f}",
+            f"overlapped edges      {self.overlap:.0f}",
+            f"edge correctness      {self.edge_correctness:.3f}",
+            f"ICS                   {self.induced_conserved_structure:.3f}",
+            f"coverage (A, B)       {self.coverage_a:.3f}, {self.coverage_b:.3f}",
+        ]
+        if self.pair_correctness is not None:
+            lines.append(f"pair correctness      {self.pair_correctness:.3f}")
+        return "\n".join(lines)
+
+
+def alignment_report(
+    problem: NetworkAlignmentProblem,
+    matching: MatchingResult,
+    reference_mate_a: np.ndarray | None = None,
+) -> AlignmentReport:
+    """Compute every metric for ``matching`` on ``problem``."""
+    x = matching.indicator(problem.n_edges_l)
+    objective, weight, overlap = problem.objective_parts(x)
+    cov_a, cov_b = node_coverage(problem, matching)
+    return AlignmentReport(
+        objective=objective,
+        weight=weight,
+        overlap=overlap,
+        edge_correctness=edge_correctness(problem, matching),
+        induced_conserved_structure=induced_conserved_structure(
+            problem, matching
+        ),
+        coverage_a=cov_a,
+        coverage_b=cov_b,
+        pair_correctness=(
+            pair_correctness(matching.mate_a, reference_mate_a)
+            if reference_mate_a is not None
+            else None
+        ),
+    )

@@ -1,0 +1,46 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Each experiment has a builder here (consumed by ``benchmarks/`` and the
+``repro.cli`` command-line tool):
+
+* :func:`~repro.bench.tables.table2` — problem-size table.
+* :func:`~repro.bench.figures.fig2_quality` — solution quality vs d̄.
+* :func:`~repro.bench.figures.fig3_pareto` — weight/overlap sweeps.
+* :func:`~repro.bench.figures.fig4_scaling_wiki`,
+  :func:`~repro.bench.figures.fig5_scaling_rameau` — strong scaling.
+* :func:`~repro.bench.figures.fig6_steps_mr`,
+  :func:`~repro.bench.figures.fig7_steps_bp` — per-step scaling.
+* :func:`~repro.bench.figures.headline` — the 10-minutes-to-36-seconds
+  claim.
+"""
+
+from repro.bench.figures import (
+    average_timing,
+    capture_traces,
+    fig2_quality,
+    fig3_pareto,
+    fig4_scaling_wiki,
+    fig5_scaling_rameau,
+    fig6_steps_mr,
+    fig7_steps_bp,
+    headline,
+    scaling_table,
+)
+from repro.bench.report import format_table
+from repro.bench.tables import TABLE2_PAPER, table2
+
+__all__ = [
+    "TABLE2_PAPER",
+    "average_timing",
+    "capture_traces",
+    "fig2_quality",
+    "fig3_pareto",
+    "fig4_scaling_wiki",
+    "fig5_scaling_rameau",
+    "fig6_steps_mr",
+    "fig7_steps_bp",
+    "format_table",
+    "headline",
+    "scaling_table",
+    "table2",
+]

@@ -1,0 +1,47 @@
+"""Plain-text report formatting for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table (the bench output format)."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[float]) -> str:
+    """One labelled x/y series as two aligned rows."""
+    xs_s = [_fmt(x) for x in xs]
+    ys_s = [_fmt(y) for y in ys]
+    widths = [max(len(a), len(b)) for a, b in zip(xs_s, ys_s)]
+    head = " ".join(s.rjust(w) for s, w in zip(xs_s, widths))
+    body = " ".join(s.rjust(w) for s, w in zip(ys_s, widths))
+    return f"{name}\n  x: {head}\n  y: {body}"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0 or 0.001 <= abs(value) < 100000:
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return f"{value:.3g}"
+    return str(value)

@@ -1,0 +1,408 @@
+"""Command-line harness: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro.cli table2
+    python -m repro.cli fig2 --degrees 4 10 16 --iters 100
+    python -m repro.cli fig4 --scale 0.02
+    python -m repro.cli headline
+    python -m repro.cli solve path/to/problem_dir --method bp
+
+Every command prints the paper-style rows/series as plain text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    from repro.bench.tables import table2
+    from repro.bench.report import format_table
+
+    rows = table2(
+        bio_scale=args.bio_scale,
+        wiki_scale=args.scale,
+        rameau_scale=args.rameau_scale,
+        seed=args.seed,
+    )
+    out = []
+    for row in rows:
+        g = row.generated
+        tgt = row.target()
+        out.append(
+            [g.name, g.n_a, g.n_b, g.n_edges_l, g.nnz_s,
+             tgt[2], tgt[3], f"{row.scale:g}"]
+        )
+    print(
+        format_table(
+            ["problem", "|V_A|", "|V_B|", "|E_L|", "nnz(S)",
+             "paper |E_L|·s", "paper nnz(S)·s", "scale"],
+            out,
+            title="Table II — problem sizes (generated vs paper targets)",
+        )
+    )
+
+
+def _cmd_fig2(args: argparse.Namespace) -> None:
+    from repro.bench.figures import fig2_quality
+    from repro.bench.report import format_table
+
+    points = fig2_quality(
+        degrees=args.degrees,
+        n_iter_mr=args.iters,
+        n_iter_bp=args.iters,
+        seed=args.seed,
+    )
+    rows = [
+        [p.method, p.expected_degree, f"{p.objective_fraction:.3f}",
+         f"{p.fraction_correct:.3f}"]
+        for p in points
+    ]
+    print(
+        format_table(
+            ["method", "dbar", "objective fraction", "fraction correct"],
+            rows,
+            title="Figure 2 — quality vs expected degree (alpha=1, beta=2)",
+        )
+    )
+
+
+def _cmd_fig3(args: argparse.Namespace) -> None:
+    from repro.bench.figures import fig3_pareto
+    from repro.bench.report import format_table
+    from repro.generators import dmela_scere, lcsh_wiki
+
+    if args.problem == "bio":
+        inst = dmela_scere(scale=args.scale, seed=args.seed)
+    else:
+        inst = lcsh_wiki(scale=args.scale, seed=args.seed)
+    points = fig3_pareto(inst, n_iter_mr=args.iters, n_iter_bp=args.iters)
+    rows = [
+        [p.method, f"{p.weight_part:.2f}", f"{p.overlap_part:.0f}"]
+        for p in points
+    ]
+    print(
+        format_table(
+            ["method", "matching weight", "overlap"],
+            rows,
+            title=f"Figure 3 — weight/overlap cloud on {inst.problem.name}",
+        )
+    )
+
+
+def _print_scaling(result: dict, title: str) -> None:
+    from repro.bench.report import format_table
+
+    rows = []
+    for method, curves in result.items():
+        for curve in curves:
+            rows.append(
+                [curve.label]
+                + [f"{s:.1f}" for s in curve.speedups]
+            )
+    threads = next(iter(result.values()))[0].thread_counts
+    print(
+        format_table(
+            ["configuration"] + [f"p={t}" for t in threads],
+            rows,
+            title=title,
+        )
+    )
+
+
+def _cmd_fig4(args: argparse.Namespace) -> None:
+    from repro.bench.figures import fig4_scaling_wiki
+
+    result = fig4_scaling_wiki(scale=args.scale, seed=args.seed)
+    _print_scaling(result, "Figure 4 — strong scaling, lcsh-wiki (simulated E7-8870)")
+
+
+def _cmd_fig5(args: argparse.Namespace) -> None:
+    from repro.bench.figures import fig5_scaling_rameau
+
+    result = fig5_scaling_rameau(scale=args.scale, seed=args.seed)
+    _print_scaling(result, "Figure 5 — strong scaling, lcsh-rameau (simulated)")
+
+
+def _cmd_fig6(args: argparse.Namespace) -> None:
+    from repro.bench.figures import fig6_steps_mr
+    from repro.bench.report import format_table
+
+    curves = fig6_steps_mr(scale=args.scale, seed=args.seed)
+    threads = next(iter(curves.values())).thread_counts
+    rows = [
+        [name] + [f"{c.baseline / t:.1f}" if t > 0 else "-" for t in c.times]
+        for name, c in curves.items()
+    ]
+    print(
+        format_table(
+            ["step"] + [f"p={t}" for t in threads],
+            rows,
+            title="Figure 6 — per-step strong scaling, Klau/lcsh-wiki",
+        )
+    )
+
+
+def _cmd_fig7(args: argparse.Namespace) -> None:
+    from repro.bench.figures import fig7_steps_bp
+    from repro.bench.report import format_table
+
+    curves = fig7_steps_bp(scale=args.scale, seed=args.seed)
+    threads = next(iter(curves.values())).thread_counts
+    rows = [
+        [name] + [f"{c.baseline / t:.1f}" if t > 0 else "-" for t in c.times]
+        for name, c in curves.items()
+    ]
+    print(
+        format_table(
+            ["step"] + [f"p={t}" for t in threads],
+            rows,
+            title="Figure 7 — per-step strong scaling, BP(batch=20)/lcsh-wiki",
+        )
+    )
+
+
+def _cmd_headline(args: argparse.Namespace) -> None:
+    from repro.bench.figures import headline
+
+    h = headline(scale=args.scale, seed=args.seed)
+    print("Headline (BP batch=20, lcsh-wiki, 400 iterations, simulated):")
+    print(f"  1 thread  (bound/compact):      {h['serial_seconds']:8.1f} s")
+    print(f"  40 threads (interleave/scatter): {h['threads40_seconds']:8.1f} s")
+    print(f"  speedup: {h['speedup']:.1f}x "
+          f"(paper: ~10 minutes -> 36 seconds, ~15-20x)")
+
+
+def _cmd_solve(args: argparse.Namespace) -> None:
+    from repro.core import (
+        BPConfig, KlauConfig, belief_propagation_align, klau_align,
+    )
+    from repro.generators.io import load_alignment_problem
+
+    problem = load_alignment_problem(
+        args.directory, alpha=args.alpha, beta=args.beta
+    )
+    if args.method == "bp":
+        res = belief_propagation_align(
+            problem,
+            BPConfig(n_iter=args.iters, matcher=args.matcher,
+                     batch=args.batch),
+        )
+    else:
+        res = klau_align(
+            problem, KlauConfig(n_iter=args.iters, matcher=args.matcher)
+        )
+    print(res.summary())
+    if args.report:
+        from repro.analysis import alignment_report
+
+        print(alignment_report(problem, res.matching).as_text())
+    if args.output:
+        matched = np.flatnonzero(res.matching.mate_a >= 0)
+        with open(args.output, "w") as fh:
+            for a in matched.tolist():
+                fh.write(f"{a} {res.matching.mate_a[a]}\n")
+        print(f"matching written to {args.output}")
+
+
+_GENERATE_FAMILIES = ("synthetic", "dmela-scere", "homo-musm",
+                      "lcsh-wiki", "lcsh-rameau")
+
+
+def _cmd_generate(args: argparse.Namespace) -> None:
+    from repro.generators import (
+        dmela_scere, homo_musm, lcsh_rameau, lcsh_wiki,
+        powerlaw_alignment_instance,
+    )
+    from repro.generators.io import save_alignment_problem
+
+    if args.family == "synthetic":
+        inst = powerlaw_alignment_instance(
+            n=args.n, expected_degree=args.degree, seed=args.seed
+        )
+    else:
+        builder = {
+            "dmela-scere": dmela_scere,
+            "homo-musm": homo_musm,
+            "lcsh-wiki": lcsh_wiki,
+            "lcsh-rameau": lcsh_rameau,
+        }[args.family]
+        inst = builder(scale=args.scale, seed=args.seed)
+    save_alignment_problem(args.directory, inst.problem)
+    stats = inst.problem.stats()
+    print(f"wrote {args.directory}: {stats.as_row()}")
+    if inst.true_mate_a is not None and args.reference:
+        with open(args.reference, "w") as fh:
+            for a, b in enumerate(inst.true_mate_a.tolist()):
+                if b >= 0:
+                    fh.write(f"{a} {b}\n")
+        print(f"reference alignment written to {args.reference}")
+
+
+def _cmd_capture(args: argparse.Namespace) -> None:
+    from repro.bench.figures import capture_traces
+    from repro.generators.io import load_alignment_problem
+    from repro.machine.serialize import save_traces
+
+    problem = load_alignment_problem(args.directory)
+    traces = capture_traces(
+        problem,
+        args.method,
+        batch=args.batch,
+        n_iter=args.iters,
+        full_size_edges=args.full_edges,
+    )
+    save_traces(args.output, traces)
+    print(f"captured {len(traces)} iteration traces of {args.method} "
+          f"on {problem.name} -> {args.output}")
+
+
+def _cmd_simulate(args: argparse.Namespace) -> None:
+    from repro.bench.figures import average_timing
+    from repro.bench.report import format_table
+    from repro.machine import SimulatedRuntime, xeon_e7_8870
+    from repro.machine.serialize import load_traces
+
+    traces = load_traces(args.traces)
+    topo = xeon_e7_8870()
+    rows = []
+    base = average_timing(
+        SimulatedRuntime(topo, 1, "bound", "compact"), traces
+    ).total
+    for nt in args.threads:
+        timing = average_timing(
+            SimulatedRuntime(topo, nt, args.memory, args.affinity), traces
+        )
+        rows.append(
+            [nt, f"{timing.total * 1e3:.2f}", f"{base / timing.total:.1f}"]
+        )
+    print(
+        format_table(
+            ["threads", "ms/iteration", "speedup"],
+            rows,
+            title=(
+                f"Simulated {topo.name} "
+                f"({args.memory}/{args.affinity}) on {args.traces}"
+            ),
+        )
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="netalign-mc",
+        description="Regenerate the SC 2012 netalign-mc experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table2", help="problem-size table")
+    p.add_argument("--bio-scale", type=float, default=1.0)
+    p.add_argument("--scale", type=float, default=0.02)
+    p.add_argument("--rameau-scale", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=3)
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("fig2", help="quality vs expected degree")
+    p.add_argument("--degrees", type=float, nargs="+",
+                   default=[2, 4, 6, 8, 10, 12, 14, 16, 18, 20])
+    p.add_argument("--iters", type=int, default=100)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_cmd_fig2)
+
+    p = sub.add_parser("fig3", help="weight/overlap parameter sweep")
+    p.add_argument("--problem", choices=["bio", "ontology"], default="bio")
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--iters", type=int, default=50)
+    p.add_argument("--seed", type=int, default=3)
+    p.set_defaults(func=_cmd_fig3)
+
+    for name, func, default_scale in (
+        ("fig4", _cmd_fig4, 0.02),
+        ("fig5", _cmd_fig5, 0.01),
+        ("fig6", _cmd_fig6, 0.02),
+        ("fig7", _cmd_fig7, 0.02),
+        ("headline", _cmd_headline, 0.02),
+    ):
+        p = sub.add_parser(name, help=f"{name} (simulated scaling)")
+        p.add_argument("--scale", type=float, default=default_scale)
+        p.add_argument("--seed", type=int, default=3)
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("solve", help="solve an SMAT problem directory")
+    p.add_argument("directory")
+    p.add_argument("--method", choices=["bp", "mr"], default="bp")
+    p.add_argument(
+        "--matcher",
+        choices=["exact", "approx", "greedy", "suitor", "auction"],
+        default="approx",
+    )
+    p.add_argument("--iters", type=int, default=100)
+    p.add_argument("--batch", type=int, default=1)
+    p.add_argument("--alpha", type=float, default=1.0)
+    p.add_argument("--beta", type=float, default=2.0)
+    p.add_argument("--output", default=None)
+    p.add_argument("--report", action="store_true",
+                   help="print the full alignment metrics report")
+    p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser(
+        "generate", help="write a problem instance as an SMAT directory"
+    )
+    p.add_argument("family", choices=_GENERATE_FAMILIES)
+    p.add_argument("directory")
+    p.add_argument("--n", type=int, default=400,
+                   help="vertices (synthetic family)")
+    p.add_argument("--degree", type=float, default=6.0,
+                   help="expected L degree (synthetic family)")
+    p.add_argument("--scale", type=float, default=0.1,
+                   help="size fraction (named families)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--reference", default=None,
+                   help="also write the planted alignment to this file")
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser(
+        "capture",
+        help="run a method on an SMAT problem and save its work traces",
+    )
+    p.add_argument("directory")
+    p.add_argument("output", help="trace JSON path to write")
+    p.add_argument("--method", choices=["bp", "mr"], default="bp")
+    p.add_argument("--iters", type=int, default=6)
+    p.add_argument("--batch", type=int, default=20)
+    p.add_argument("--full-edges", type=int, default=None,
+                   help="extrapolate traces to this |E_L|")
+    p.set_defaults(func=_cmd_capture)
+
+    p = sub.add_parser(
+        "simulate", help="replay saved traces on the simulated machine"
+    )
+    p.add_argument("traces", help="trace JSON path (from `capture`)")
+    p.add_argument("--threads", type=int, nargs="+",
+                   default=[1, 10, 20, 40, 80])
+    p.add_argument("--memory", choices=["bound", "interleave"],
+                   default="interleave")
+    p.add_argument("--affinity", choices=["compact", "scatter"],
+                   default="scatter")
+    p.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

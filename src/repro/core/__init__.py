@@ -1,0 +1,46 @@
+"""The paper's core contribution: network alignment heuristics.
+
+Public surface:
+
+* :class:`~repro.core.problem.NetworkAlignmentProblem` — the (A, B, L, w,
+  α, β) instance plus its squares matrix **S**.
+* :func:`~repro.core.klau.klau_align` — Klau's matching-relaxation method
+  (Listing 1).
+* :func:`~repro.core.bp.belief_propagation_align` — the BP message-passing
+  method (Listing 2), with batched rounding.
+* :func:`~repro.core.lp_relax.lp_relaxation_align` — the straightforward
+  LP-rounding baseline of §III.
+* :func:`~repro.core.rounding.round_heuristic` and matcher factories — the
+  rounding step whose exact→approximate substitution is the subject of
+  the paper.
+"""
+
+from repro.core.bp import BPConfig, belief_propagation_align
+from repro.core.isorank import IsoRankConfig, isorank_align
+from repro.core.klau import KlauConfig, klau_align
+from repro.core.lp_relax import lp_relaxation_align
+from repro.core.objective import alignment_objective, overlap_count
+from repro.core.problem import NetworkAlignmentProblem
+from repro.core.result import AlignmentResult, IterationRecord
+from repro.core.rounding import make_matcher, round_heuristic
+from repro.core.steering import SteeringSession, forbid_pairs, pin_pairs
+
+__all__ = [
+    "AlignmentResult",
+    "BPConfig",
+    "IsoRankConfig",
+    "IterationRecord",
+    "KlauConfig",
+    "NetworkAlignmentProblem",
+    "SteeringSession",
+    "alignment_objective",
+    "belief_propagation_align",
+    "forbid_pairs",
+    "isorank_align",
+    "klau_align",
+    "lp_relaxation_align",
+    "make_matcher",
+    "overlap_count",
+    "pin_pairs",
+    "round_heuristic",
+]

@@ -1,0 +1,41 @@
+"""Free-function objective helpers (usable without a problem object)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import spmv
+
+__all__ = ["alignment_objective", "overlap_count", "overlap_pairs"]
+
+
+def overlap_count(squares: CSRMatrix, x: np.ndarray) -> float:
+    """Overlapped-edge count ``xᵀSx / 2`` (paper §II)."""
+    return float(np.dot(x, spmv(squares, x))) / 2.0
+
+
+def alignment_objective(
+    weights: np.ndarray,
+    squares: CSRMatrix,
+    x: np.ndarray,
+    alpha: float,
+    beta: float,
+) -> float:
+    """``α·wᵀx + (β/2)·xᵀSx`` for an indicator (or fractional) vector x."""
+    return float(
+        alpha * np.dot(weights, x) + (beta / 2.0) * np.dot(x, spmv(squares, x))
+    )
+
+
+def overlap_pairs(squares: CSRMatrix, edge_ids: np.ndarray) -> int:
+    """Count overlapped edge pairs induced by a matching's L-edge ids.
+
+    Combinatorial definition (pairs of matching edges forming a square),
+    used by tests to cross-check the quadratic form.
+    """
+    in_matching = np.zeros(squares.n_rows, dtype=bool)
+    in_matching[edge_ids] = True
+    rows = squares.row_of_nonzero()
+    hits = in_matching[rows] & in_matching[squares.indices]
+    return int(hits.sum()) // 2

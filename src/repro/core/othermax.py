@@ -1,0 +1,107 @@
+"""The ``othermax`` kernels of the BP method (paper §III-B).
+
+For a weight vector **g** over the edges of L::
+
+    [othermaxrow(g)]_{i,i'} = bound_{0,∞}[ max_{(i,k') ∈ E_L, k' ≠ i'} g_{i,k'} ]
+
+i.e. within each row (edges sharing the A-vertex ``i``), every entry is
+replaced by the row maximum — except the maximum itself, which is replaced
+by the second largest — then clipped below at 0.  ``othermaxcol`` is the
+same over columns (edges sharing a B-vertex).
+
+Vectorization: two segmented reductions.  The first finds each group's
+max; the second re-reduces with one occurrence of the max masked out,
+yielding the second max.  Columns reuse the row kernel through L's
+column permutation (the paper parallelizes these "over columns and rows,
+respectively" — here each is a handful of NumPy passes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import asarray_f64
+from repro.errors import DimensionError
+from repro.sparse.bipartite import BipartiteGraph
+
+__all__ = ["othermax_grouped", "othermax_row", "othermax_col"]
+
+
+def othermax_grouped(
+    values: np.ndarray, indptr: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Apply the othermax transform within each CSR-style group.
+
+    ``values`` is any float vector; ``indptr`` delimits groups (must cover
+    ``values`` exactly).  Elements of singleton groups have no "other"
+    edge, so they get ``bound_{0,∞}(max ∅) = 0``.
+    """
+    values = asarray_f64(values)
+    n_items = len(values)
+    if int(indptr[-1]) != n_items or int(indptr[0]) != 0:
+        raise DimensionError("indptr does not partition values")
+    if out is None:
+        out = np.empty(n_items, dtype=np.float64)
+    if n_items == 0:
+        return out
+    n_groups = len(indptr) - 1
+    starts = indptr[:-1]
+    lengths = np.diff(indptr)
+    nonempty = lengths > 0
+    group_of = np.repeat(np.arange(n_groups, dtype=np.int64), lengths)
+
+    # First pass: per-group maximum.
+    gmax = np.full(n_groups, -np.inf)
+    gmax[nonempty] = np.maximum.reduceat(values, starts[nonempty])
+
+    # Identify the first position achieving each group's max.
+    pos = np.arange(n_items, dtype=np.int64)
+    at_max_pos = np.where(values == gmax[group_of], pos, n_items)
+    first_max = np.full(n_groups, n_items, dtype=np.int64)
+    first_max[nonempty] = np.minimum.reduceat(at_max_pos, starts[nonempty])
+
+    # Second pass: per-group max with that occurrence removed.
+    masked = values.copy()
+    masked[first_max[nonempty]] = -np.inf
+    gsecond = np.full(n_groups, -np.inf)
+    gsecond[nonempty] = np.maximum.reduceat(masked, starts[nonempty])
+
+    is_the_max = pos == first_max[group_of]
+    np.copyto(out, np.where(is_the_max, gsecond[group_of], gmax[group_of]))
+    np.maximum(out, 0.0, out=out)  # bound_{0,∞}
+    return out
+
+
+def othermax_row(
+    ell: BipartiteGraph, g: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """``othermaxrow``: groups are edges sharing an A-vertex."""
+    g = asarray_f64(g)
+    if g.shape != (ell.n_edges,):
+        raise DimensionError("g has wrong length")
+    return othermax_grouped(g, ell.row_ptr, out=out)
+
+
+def othermax_col(
+    ell: BipartiteGraph,
+    g: np.ndarray,
+    out: np.ndarray | None = None,
+    scratch: np.ndarray | None = None,
+) -> np.ndarray:
+    """``othermaxcol``: groups are edges sharing a B-vertex.
+
+    Uses L's column permutation to reuse the row kernel ("we simply use
+    the permutation array to pull elements from appropriate memory
+    locations", §IV-A).  ``scratch`` may hold a preallocated temp of the
+    same length.
+    """
+    g = asarray_f64(g)
+    if g.shape != (ell.n_edges,):
+        raise DimensionError("g has wrong length")
+    perm = ell.col_perm
+    permuted = g[perm] if scratch is None else np.take(g, perm, out=scratch)
+    col_result = othermax_grouped(permuted, ell.col_ptr)
+    if out is None:
+        out = np.empty(ell.n_edges, dtype=np.float64)
+    out[perm] = col_result
+    return out

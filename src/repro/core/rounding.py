@@ -1,0 +1,99 @@
+"""The rounding step: heuristic weights → matching → objective (Table I).
+
+``round_heuristic(g)`` computes ``x = bipartite_match(g)``, evaluates the
+alignment objective, and keeps track of which ``g`` produced the largest
+objective.  The whole paper turns on which ``bipartite_match`` is plugged
+in here:
+
+* ``"exact"`` — sparse successive-shortest-path Hungarian
+  (:func:`repro.matching.exact.max_weight_matching`);
+* ``"approx"`` — the parallel locally-dominant ½-approximation of §V
+  (vectorized rounds formulation);
+* ``"approx-queue"`` — the same algorithm in its faithful queue form
+  (slower; exposes per-round stats);
+* ``"greedy"`` — serial sorted greedy (equivalent output, different cost);
+* ``"suitor"`` — the proposal-based ½-approximation (same output as the
+  locally-dominant matcher under distinct weights);
+* ``"auction"`` — Bertsekas auction with an additive n·ε guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.core.problem import NetworkAlignmentProblem
+from repro.core.result import BestTracker
+from repro.errors import ConfigurationError
+from repro.matching.auction import auction_matching
+from repro.matching.exact import max_weight_matching
+from repro.matching.greedy import greedy_matching
+from repro.matching.locally_dominant import (
+    locally_dominant_matching,
+    locally_dominant_matching_vectorized,
+)
+from repro.matching.result import MatchingResult
+from repro.matching.suitor import suitor_matching
+from repro.sparse.bipartite import BipartiteGraph
+
+__all__ = ["Matcher", "make_matcher", "round_heuristic", "MATCHER_KINDS"]
+
+
+class Matcher(Protocol):
+    """A ``bipartite_match`` oracle: weights over L's edges → matching."""
+
+    def __call__(
+        self, ell: BipartiteGraph, weights: np.ndarray
+    ) -> MatchingResult: ...
+
+
+MATCHER_KINDS = (
+    "exact", "approx", "approx-queue", "greedy", "suitor", "auction",
+)
+
+
+def make_matcher(kind: str) -> Matcher:
+    """Return the ``bipartite_match`` implementation named ``kind``."""
+    if kind == "exact":
+        return lambda ell, w: max_weight_matching(ell, w)
+    if kind == "approx":
+        return lambda ell, w: locally_dominant_matching_vectorized(ell, w)
+    if kind == "approx-queue":
+        return lambda ell, w: locally_dominant_matching(ell, w)
+    if kind == "greedy":
+        return lambda ell, w: greedy_matching(ell, w)
+    if kind == "suitor":
+        return lambda ell, w: suitor_matching(ell, w)
+    if kind == "auction":
+        return lambda ell, w: auction_matching(ell, w)
+    raise ConfigurationError(
+        f"unknown matcher {kind!r}; expected one of {MATCHER_KINDS}"
+    )
+
+
+def round_heuristic(
+    problem: NetworkAlignmentProblem,
+    g: np.ndarray,
+    matcher: Matcher | str,
+    tracker: BestTracker | None = None,
+    *,
+    source: str = "g",
+    iteration: int = -1,
+) -> tuple[float, float, float, MatchingResult]:
+    """Round a heuristic vector to a matching and score it.
+
+    Returns ``(objective, weight_part, overlap_part, matching)`` and, if a
+    :class:`BestTracker` is given, offers the result to it (keeping "track
+    of which g produced the largest objective", Table I).
+    """
+    if isinstance(matcher, str):
+        matcher = make_matcher(matcher)
+    matching = matcher(problem.ell, np.asarray(g, dtype=np.float64))
+    x = matching.indicator(problem.n_edges_l)
+    objective, weight_part, overlap_part = problem.objective_parts(x)
+    if tracker is not None:
+        tracker.offer(
+            objective, weight_part, overlap_part, matching, g, source, iteration
+        )
+    return objective, weight_part, overlap_part, matching

@@ -1,0 +1,270 @@
+"""Vectorized Step-1 solver for Klau's method: one matching per row of S.
+
+Each row of **S** induces a tiny max-weight matching among the L-edges in
+that row.  Because the structure of **S** is fixed across iterations, rows
+are *classified once*:
+
+* ``singleton`` — one entry: take it if positive;
+* ``star`` — all entries share an endpoint (pairwise conflicting): take
+  the heaviest positive entry;
+* ``free`` — all endpoints distinct (pairwise compatible): take every
+  positive entry;
+* ``general`` — anything else: exact DFS matching per row
+  (:func:`repro.matching.exact_small.small_max_weight_matching`).
+
+The first three classes cover the overwhelming majority of rows in the
+paper's problem families and are solved for *all* rows simultaneously
+with segmented reductions; only ``general`` rows fall back to the scalar
+solver.  Results are bit-identical to solving every row with the exact
+small matcher (tested).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matching.exact_small import small_max_weight_matching
+from repro.sparse.bipartite import BipartiteGraph
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["RowMatcher"]
+
+_BB_LIMIT = 18  # rows larger than this fall back to the generic solver
+
+
+def _solve_conflicts(
+    vals: list[float], masks: list[int]
+) -> tuple[float, list[int]]:
+    """Max-weight independent set in a conflict graph of matching edges.
+
+    Exact branch-and-bound over edges sorted by decreasing weight with a
+    suffix-sum bound; ``masks[i]`` is the precomputed bitmask of edges
+    conflicting with edge ``i``.  For matching-conflict structures the
+    search tree is tiny; this is the per-iteration hot loop of Klau
+    Step 1.
+    """
+    order = sorted(
+        (i for i, v in enumerate(vals) if v > 0.0),
+        key=vals.__getitem__,
+        reverse=True,
+    )
+    if not order:
+        return 0.0, []
+    k = len(order)
+    w = [vals[i] for i in order]
+    suffix = [0.0] * (k + 1)
+    for i in range(k - 1, -1, -1):
+        suffix[i] = suffix[i + 1] + w[i]
+    # Mask of original indices still ahead of position idx (for the
+    # forced-take rule below).
+    rest = [0] * (k + 1)
+    for i in range(k - 1, -1, -1):
+        rest[i] = rest[i + 1] | (1 << order[i])
+
+    # Greedy seed: sorted-greedy is a ½-approx and often optimal here;
+    # starting with its value makes the suffix bound prune aggressively
+    # (critical when many weights tie, e.g. the all-β/2 first iteration).
+    best_val = 0.0
+    best_set = 0
+    blocked = 0
+    for i in range(k):
+        e = order[i]
+        if not (blocked >> e) & 1:
+            best_val += w[i]
+            best_set |= 1 << e
+            blocked |= masks[e]
+
+    # Iterative DFS over the sorted order; blocked/chosen are bitmasks in
+    # the *original* edge indexing so the precomputed conflict masks
+    # apply directly.
+    stack = [(0, 0, 0.0, 0)]
+    push = stack.append
+    pop = stack.pop
+    while stack:
+        idx, blocked, cur, chosen = pop()
+        while idx < k:
+            if cur + suffix[idx] <= best_val:
+                break
+            e = order[idx]
+            if (blocked >> e) & 1:
+                idx += 1
+                continue
+            if (masks[e] & rest[idx + 1] & ~blocked) == 0:
+                # Conflict-free with everything still selectable: taking
+                # it can never hurt — no skip branch needed.
+                cur += w[idx]
+                chosen |= 1 << e
+                blocked |= masks[e]
+                idx += 1
+                continue
+            # Branch: skip continues in this frame, take is pushed.
+            push(
+                (idx + 1, blocked | masks[e], cur + w[idx], chosen | (1 << e))
+            )
+            idx += 1
+        if cur > best_val:
+            best_val = cur
+            best_set = chosen
+    picked = []
+    mm = best_set
+    while mm:
+        low = mm & -mm
+        picked.append(low.bit_length() - 1)
+        mm ^= low
+    return best_val, picked
+
+
+class RowMatcher:
+    """Solves ``bipartite_match(e_iᵀ M)`` for every row i of S at once."""
+
+    def __init__(self, s_mat: CSRMatrix, ell: BipartiteGraph) -> None:
+        self._indptr = s_mat.indptr
+        self._rows_nz = s_mat.row_of_nonzero()
+        self._sub_a = ell.edge_a[s_mat.indices]
+        self._sub_b = ell.edge_b[s_mat.indices]
+        self._n_rows = s_mat.n_rows
+        self._nnz = s_mat.nnz
+        self._classify()
+
+    # ------------------------------------------------------------------
+    def _classify(self) -> None:
+        """One-time row classification (structure is fixed, §IV-A)."""
+        indptr = self._indptr
+        sub_a, sub_b = self._sub_a, self._sub_b
+        star_rows: list[int] = []
+        free_rows: list[int] = []
+        general_rows: list[int] = []
+        lengths = np.diff(indptr)
+        for e in np.flatnonzero(lengths > 0).tolist():
+            lo, hi = int(indptr[e]), int(indptr[e + 1])
+            if hi - lo == 1:
+                star_rows.append(e)  # singleton == trivial star
+                continue
+            a = sub_a[lo:hi]
+            b = sub_b[lo:hi]
+            ua = len(np.unique(a))
+            ub = len(np.unique(b))
+            k = hi - lo
+            if ua == 1 or ub == 1:
+                star_rows.append(e)
+            elif ua == k and ub == k:
+                free_rows.append(e)
+            else:
+                general_rows.append(e)
+        self.star_rows = np.array(star_rows, dtype=np.int64)
+        self.free_rows = np.array(free_rows, dtype=np.int64)
+        self.general_rows = np.array(general_rows, dtype=np.int64)
+
+        def positions(rows: np.ndarray) -> np.ndarray:
+            if len(rows) == 0:
+                return np.empty(0, dtype=np.int64)
+            counts = lengths[rows]
+            out = np.empty(int(counts.sum()), dtype=np.int64)
+            k = 0
+            for r, c in zip(indptr[rows].tolist(), counts.tolist()):
+                out[k : k + c] = np.arange(r, r + c)
+                k += c
+            return out
+
+        self._star_pos = positions(self.star_rows)
+        self._free_pos = positions(self.free_rows)
+        # General rows: precompute pairwise conflict bitmasks once (the
+        # structure never changes); the per-iteration solver is then a
+        # tight pure-Python branch-and-bound over ≤ _DFS_LIMIT edges.
+        self._general_rows_data: list[tuple[int, int, int, list[int]]] = []
+        for e in self.general_rows.tolist():
+            lo, hi = int(indptr[e]), int(indptr[e + 1])
+            a = sub_a[lo:hi].tolist()
+            b = sub_b[lo:hi].tolist()
+            k = hi - lo
+            masks = []
+            for i in range(k):
+                mask = 0
+                for j in range(k):
+                    if i != j and (a[i] == a[j] or b[i] == b[j]):
+                        mask |= 1 << j
+                masks.append(mask)
+            self._general_rows_data.append((lo, hi, e, masks))
+
+    # ------------------------------------------------------------------
+    @property
+    def n_solved_rows(self) -> int:
+        """Number of non-empty rows (matchings solved per iteration)."""
+        return len(self.star_rows) + len(self.free_rows) + len(
+            self.general_rows
+        )
+
+    def category_counts(self) -> dict[str, int]:
+        """Row counts per class (reported by ablation benches)."""
+        return {
+            "star": len(self.star_rows),
+            "free": len(self.free_rows),
+            "general": len(self.general_rows),
+        }
+
+    def solve(
+        self, m_vals: np.ndarray, d_out: np.ndarray, sl_out: np.ndarray
+    ) -> None:
+        """Solve all row matchings for value array ``m_vals`` over S's nnz.
+
+        Writes the matching values into ``d_out`` (length = rows of S) and
+        the 0/1 selection indicators into ``sl_out`` (length = nnz of S).
+        """
+        indptr = self._indptr
+        d_out[:] = 0.0
+        sl_out[:] = 0.0
+        if self._nnz == 0:
+            return
+        pos_vals = np.maximum(m_vals, 0.0)
+        # Padded copy so segment ends equal to nnz are legal reduceat
+        # indices; category rows are not contiguous, so every segment
+        # needs an explicit [start, end) pair (interleaved indices).
+        padded = np.append(pos_vals, 0.0)
+
+        def segments(rows: np.ndarray, ufunc) -> np.ndarray:
+            idx = np.empty(2 * len(rows), dtype=np.int64)
+            idx[0::2] = indptr[rows]
+            idx[1::2] = indptr[rows + 1]
+            return ufunc.reduceat(padded, idx)[0::2]
+
+        # --- free rows: every positive entry is selected ---------------
+        if len(self.free_rows):
+            d_out[self.free_rows] = segments(self.free_rows, np.add)
+            fp = self._free_pos
+            sl_out[fp] = m_vals[fp] > 0.0
+
+        # --- star rows: heaviest positive entry ------------------------
+        if len(self.star_rows):
+            d_out[self.star_rows] = segments(self.star_rows, np.maximum)
+            # First position attaining the max within each star row.
+            sp = self._star_pos
+            row_of = self._rows_nz[sp]
+            # d_out[row] is that row's max; select first attainer if > 0.
+            expanded_max = d_out[row_of]
+            attains = (m_vals[sp] == expanded_max) & (expanded_max > 0.0)
+            pos_or_big = np.where(attains, sp, self._nnz)
+            # reduce per star row: map rows to compact ids
+            # (star rows' positions are stored grouped row by row).
+            lengths = (
+                indptr[self.star_rows + 1] - indptr[self.star_rows]
+            ).astype(np.int64)
+            bounds = np.concatenate([[0], np.cumsum(lengths)])[:-1]
+            first = np.minimum.reduceat(pos_or_big, bounds)
+            chosen = first[first < self._nnz]
+            sl_out[chosen] = 1.0
+
+        # --- general rows: exact branch-and-bound ----------------------
+        if self._general_rows_data:
+            vals_list = m_vals.tolist()
+            for lo, hi, e, masks in self._general_rows_data:
+                if hi - lo > _BB_LIMIT:
+                    value, chosen = small_max_weight_matching(
+                        self._sub_a[lo:hi], self._sub_b[lo:hi], m_vals[lo:hi]
+                    )
+                    d_out[e] = value
+                    sl_out[lo:hi] = chosen
+                    continue
+                value, picked = _solve_conflicts(vals_list[lo:hi], masks)
+                d_out[e] = value
+                for i in picked:
+                    sl_out[lo + i] = 1.0

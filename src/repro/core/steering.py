@@ -1,0 +1,188 @@
+"""Computational steering of alignments (paper §IX).
+
+The paper motivates its speedup with interactive use: *"given the result
+of a network alignment problem, users may want to fix certain problematic
+alignments by removing potential matches from L and recompute."*  This
+module provides exactly that workflow:
+
+* :func:`forbid_pairs` — remove candidate edges from L;
+* :func:`pin_pairs` — force chosen pairs into every solution (their
+  endpoints' other candidates are removed, the pinned edge is kept);
+* :class:`SteeringSession` — an iterative wrapper: solve → inspect →
+  pin/forbid → re-solve, tracking the constraint history.
+
+Pinning is implemented by *restricting* L rather than by weight tricks,
+so any matcher and either method can be used unchanged, and pinned pairs
+are guaranteed to be matchable (they have no competitors left).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.bp import BPConfig, belief_propagation_align
+from repro.core.klau import KlauConfig, klau_align
+from repro.core.problem import NetworkAlignmentProblem
+from repro.core.result import AlignmentResult
+from repro.errors import ConfigurationError, ValidationError
+from repro.sparse.bipartite import BipartiteGraph
+
+__all__ = ["forbid_pairs", "pin_pairs", "SteeringSession"]
+
+
+def _pairs_to_arrays(
+    pairs: Iterable[tuple[int, int]]
+) -> tuple[np.ndarray, np.ndarray]:
+    pairs = list(pairs)
+    if not pairs:
+        return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+    a, b = zip(*pairs)
+    return np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64)
+
+
+def forbid_pairs(
+    problem: NetworkAlignmentProblem, pairs: Iterable[tuple[int, int]]
+) -> NetworkAlignmentProblem:
+    """Return a problem with the given ``(a, b)`` candidate edges removed.
+
+    Unknown pairs are rejected loudly (a typo'd forbid should not pass
+    silently).
+    """
+    a, b = _pairs_to_arrays(pairs)
+    if len(a) == 0:
+        return problem
+    eids = problem.ell.lookup_edges(a, b)
+    if (eids < 0).any():
+        bad = [(int(x), int(y)) for x, y in zip(a[eids < 0], b[eids < 0])]
+        raise ValidationError(f"cannot forbid non-candidate pairs {bad[:5]}")
+    mask = np.ones(problem.n_edges_l, dtype=bool)
+    mask[eids] = False
+    return _with_l(problem, problem.ell.subgraph(mask))
+
+
+def pin_pairs(
+    problem: NetworkAlignmentProblem, pairs: Iterable[tuple[int, int]]
+) -> NetworkAlignmentProblem:
+    """Return a problem where each given pair is forced into the solution.
+
+    All other candidates incident on a pinned vertex (on either side) are
+    removed; the pinned edge remains the unique, strictly positive choice
+    for its endpoints, so every matcher selects it.
+    """
+    a, b = _pairs_to_arrays(pairs)
+    if len(a) == 0:
+        return problem
+    eids = problem.ell.lookup_edges(a, b)
+    if (eids < 0).any():
+        bad = [(int(x), int(y)) for x, y in zip(a[eids < 0], b[eids < 0])]
+        raise ValidationError(f"cannot pin non-candidate pairs {bad[:5]}")
+    if len(np.unique(a)) != len(a) or len(np.unique(b)) != len(b):
+        raise ConfigurationError("pinned pairs must be vertex-disjoint")
+    ell = problem.ell
+    pinned_a = np.zeros(ell.n_a, dtype=bool)
+    pinned_b = np.zeros(ell.n_b, dtype=bool)
+    pinned_a[a] = True
+    pinned_b[b] = True
+    pinned_edge = np.zeros(ell.n_edges, dtype=bool)
+    pinned_edge[eids] = True
+    keep = pinned_edge | (
+        ~pinned_a[ell.edge_a] & ~pinned_b[ell.edge_b]
+    )
+    sub = ell.subgraph(keep)
+    # Guarantee the pinned edges carry positive weight so no matcher
+    # drops them.
+    new_w = sub.weights.copy()
+    sub_eids = sub.lookup_edges(a, b)
+    new_w[sub_eids] = np.maximum(new_w[sub_eids], 1e-6)
+    return _with_l(problem, sub.with_weights(new_w))
+
+
+def _with_l(
+    problem: NetworkAlignmentProblem, ell: BipartiteGraph
+) -> NetworkAlignmentProblem:
+    """Rebuild the problem around a restricted L (S must be rebuilt)."""
+    return NetworkAlignmentProblem(
+        problem.a_graph,
+        problem.b_graph,
+        ell,
+        alpha=problem.alpha,
+        beta=problem.beta,
+        name=problem.name,
+    )
+
+
+@dataclass
+class SteeringSession:
+    """Iterative solve → inspect → constrain → re-solve loop (§IX).
+
+    Parameters
+    ----------
+    problem:
+        The starting alignment problem.
+    method:
+        ``"bp"`` or ``"mr"``.
+    config:
+        Optional method config (defaults favor the fast approximate
+        rounding — the interactive setting is the whole point of the
+        paper's speedup).
+    """
+
+    problem: NetworkAlignmentProblem
+    method: str = "bp"
+    config: BPConfig | KlauConfig | None = None
+    history: list[AlignmentResult] = field(default_factory=list)
+    pinned: list[tuple[int, int]] = field(default_factory=list)
+    forbidden: list[tuple[int, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.method not in ("bp", "mr"):
+            raise ConfigurationError(f"unknown method {self.method!r}")
+        if self.config is None:
+            self.config = (
+                BPConfig(n_iter=50, matcher="approx")
+                if self.method == "bp"
+                else KlauConfig(n_iter=50, matcher="approx")
+            )
+
+    def solve(self) -> AlignmentResult:
+        """Solve the current (constrained) problem and record the result."""
+        if self.method == "bp":
+            result = belief_propagation_align(self.problem, self.config)
+        else:
+            result = klau_align(self.problem, self.config)
+        self.history.append(result)
+        return result
+
+    def pin(self, pairs: Sequence[tuple[int, int]]) -> None:
+        """Force pairs into all subsequent solutions."""
+        self.problem = pin_pairs(self.problem, pairs)
+        self.pinned.extend((int(a), int(b)) for a, b in pairs)
+
+    def forbid(self, pairs: Sequence[tuple[int, int]]) -> None:
+        """Remove candidate pairs from all subsequent solutions."""
+        self.problem = forbid_pairs(self.problem, pairs)
+        self.forbidden.extend((int(a), int(b)) for a, b in pairs)
+
+    @property
+    def latest(self) -> AlignmentResult:
+        """The most recent result."""
+        if not self.history:
+            raise ConfigurationError("no solve() has been run yet")
+        return self.history[-1]
+
+    def disagreements(
+        self, reference_mate_a: np.ndarray
+    ) -> list[tuple[int, int, int]]:
+        """Pairs where the latest solution differs from a reference.
+
+        Returns ``(a, solved_b, reference_b)`` triples — the natural
+        worklist for an analyst deciding what to pin or forbid.
+        """
+        mate = self.latest.matching.mate_a
+        out = []
+        for a in np.flatnonzero(mate != reference_mate_a).tolist():
+            out.append((a, int(mate[a]), int(reference_mate_a[a])))
+        return out

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate finer failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DimensionError",
+    "ValidationError",
+    "NotAMatchingError",
+    "ConfigurationError",
+    "TraceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class DimensionError(ReproError, ValueError):
+    """Array or matrix dimensions are inconsistent with each other."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input object failed structural validation (bad CSR, bad graph...)."""
+
+
+class NotAMatchingError(ValidationError):
+    """An edge subset claimed to be a matching violates the degree-1 rule."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An algorithm or machine configuration value is invalid."""
+
+
+class TraceError(ReproError, RuntimeError):
+    """A work trace is malformed or used inconsistently with the runtime."""

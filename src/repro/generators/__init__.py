@@ -1,0 +1,38 @@
+"""Problem-instance generators for the paper's three evaluation families.
+
+* :mod:`~repro.generators.powerlaw` — power-law random graphs (§VI-A's
+  substrate, after Barabási–Albert-style degree distributions).
+* :mod:`~repro.generators.synthetic` — the §VI-A quality instances:
+  perturb a common power-law graph G into A and B, and build L from the
+  identity matching plus expected-degree-d̄ random noise.
+* :mod:`~repro.generators.bio` — PPI-like stand-ins matched to the
+  Table II sizes of dmela-scere and homo-musm.
+* :mod:`~repro.generators.ontology` — hierarchical-ontology stand-ins for
+  lcsh-wiki and lcsh-rameau, with a ``scale`` knob.
+* :mod:`~repro.generators.io` — SMAT-style text I/O for plugging in real
+  data.
+"""
+
+from repro.generators.instance import AlignmentInstance
+from repro.generators.bio import bio_instance, dmela_scere, homo_musm
+from repro.generators.ontology import lcsh_rameau, lcsh_wiki, ontology_instance
+from repro.generators.powerlaw import (
+    powerlaw_graph,
+    preferential_attachment_tree,
+    sample_powerlaw_degrees,
+)
+from repro.generators.synthetic import powerlaw_alignment_instance
+
+__all__ = [
+    "AlignmentInstance",
+    "bio_instance",
+    "dmela_scere",
+    "homo_musm",
+    "lcsh_rameau",
+    "lcsh_wiki",
+    "ontology_instance",
+    "powerlaw_alignment_instance",
+    "powerlaw_graph",
+    "preferential_attachment_tree",
+    "sample_powerlaw_degrees",
+]

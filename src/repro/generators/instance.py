@@ -1,0 +1,55 @@
+"""Container coupling a problem with its planted reference alignment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import NetworkAlignmentProblem
+
+__all__ = ["AlignmentInstance"]
+
+
+@dataclass
+class AlignmentInstance:
+    """A generated alignment problem plus ground truth, when one exists.
+
+    ``true_mate_a[i]`` is the planted B-partner of A-vertex ``i`` or ``-1``
+    (identity for §VI-A synthetics; the hidden correspondence for the bio
+    and ontology stand-ins).
+    """
+
+    problem: NetworkAlignmentProblem
+    true_mate_a: np.ndarray | None = None
+
+    def reference_indicator(self) -> np.ndarray:
+        """Indicator vector of the reference alignment over L's edges.
+
+        Reference pairs missing from L are silently skipped (they cannot
+        be part of any feasible solution).
+        """
+        if self.true_mate_a is None:
+            raise ValueError("instance has no reference alignment")
+        ell = self.problem.ell
+        matched = np.flatnonzero(self.true_mate_a >= 0)
+        eids = ell.lookup_edges(matched, self.true_mate_a[matched])
+        eids = eids[eids >= 0]
+        x = np.zeros(ell.n_edges)
+        x[eids] = 1.0
+        return x
+
+    def reference_objective(self) -> float:
+        """Objective value of the reference alignment."""
+        return self.problem.objective(self.reference_indicator())
+
+    def fraction_correct(self, mate_a: np.ndarray) -> float:
+        """Fraction of reference pairs recovered by ``mate_a``."""
+        if self.true_mate_a is None:
+            raise ValueError("instance has no reference alignment")
+        known = self.true_mate_a >= 0
+        if not known.any():
+            return 0.0
+        return float(
+            (mate_a[known] == self.true_mate_a[known]).mean()
+        )

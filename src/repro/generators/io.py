@@ -1,0 +1,125 @@
+"""SMAT-style text I/O, compatible with the netalign data layout.
+
+The original netalign codes distribute problems as sparse-matrix text
+files: a header line ``n_rows n_cols nnz`` followed by ``row col value``
+triplets (0-indexed).  An alignment problem is three such files — A, B,
+and L — which is what :func:`load_alignment_problem` consumes, so real
+datasets (e.g. the original dmela-scere files) can be plugged into this
+reproduction unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TextIO
+
+import numpy as np
+
+from repro.core.problem import NetworkAlignmentProblem
+from repro.errors import ValidationError
+from repro.graph.graph import Graph
+from repro.sparse.bipartite import BipartiteGraph
+
+__all__ = [
+    "write_smat",
+    "read_smat",
+    "write_graph",
+    "read_graph",
+    "write_bipartite",
+    "read_bipartite",
+    "load_alignment_problem",
+    "save_alignment_problem",
+]
+
+
+def write_smat(
+    fh: TextIO,
+    n_rows: int,
+    n_cols: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+) -> None:
+    """Write one SMAT section: header then ``row col value`` triplets."""
+    fh.write(f"{n_rows} {n_cols} {len(rows)}\n")
+    for r, c, v in zip(rows.tolist(), cols.tolist(), vals.tolist()):
+        fh.write(f"{r} {c} {v:.17g}\n")
+
+
+def read_smat(fh: TextIO) -> tuple[int, int, np.ndarray, np.ndarray, np.ndarray]:
+    """Read one SMAT section; returns (n_rows, n_cols, rows, cols, vals)."""
+    header = fh.readline().split()
+    if len(header) != 3:
+        raise ValidationError(f"bad SMAT header: {header!r}")
+    n_rows, n_cols, nnz = (int(x) for x in header)
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    vals = np.empty(nnz, dtype=np.float64)
+    for i in range(nnz):
+        parts = fh.readline().split()
+        if len(parts) != 3:
+            raise ValidationError(f"bad SMAT triplet at entry {i}")
+        rows[i] = int(parts[0])
+        cols[i] = int(parts[1])
+        vals[i] = float(parts[2])
+    return n_rows, n_cols, rows, cols, vals
+
+
+def write_graph(path: str, graph: Graph) -> None:
+    """Write an undirected graph as a symmetric SMAT file."""
+    with open(path, "w") as fh:
+        rows = np.concatenate([graph.edge_u, graph.edge_v])
+        cols = np.concatenate([graph.edge_v, graph.edge_u])
+        write_smat(fh, graph.n, graph.n, rows, cols, np.ones(len(rows)))
+
+
+def read_graph(path: str) -> Graph:
+    """Read an undirected graph from a (possibly symmetric) SMAT file."""
+    with open(path) as fh:
+        n_rows, n_cols, rows, cols, _ = read_smat(fh)
+    if n_rows != n_cols:
+        raise ValidationError("graph SMAT must be square")
+    return Graph.from_edges(n_rows, rows, cols)
+
+
+def write_bipartite(path: str, ell: BipartiteGraph) -> None:
+    """Write a weighted bipartite graph L as an SMAT file."""
+    with open(path, "w") as fh:
+        write_smat(fh, ell.n_a, ell.n_b, ell.edge_a, ell.edge_b, ell.weights)
+
+
+def read_bipartite(path: str) -> BipartiteGraph:
+    """Read a weighted bipartite graph L from an SMAT file."""
+    with open(path) as fh:
+        n_a, n_b, rows, cols, vals = read_smat(fh)
+    return BipartiteGraph.from_edges(n_a, n_b, rows, cols, vals)
+
+
+def save_alignment_problem(
+    directory: str, problem: NetworkAlignmentProblem
+) -> None:
+    """Write A.smat, B.smat, L.smat into ``directory``."""
+    os.makedirs(directory, exist_ok=True)
+    write_graph(os.path.join(directory, "A.smat"), problem.a_graph)
+    write_graph(os.path.join(directory, "B.smat"), problem.b_graph)
+    write_bipartite(os.path.join(directory, "L.smat"), problem.ell)
+
+
+def load_alignment_problem(
+    directory: str,
+    alpha: float = 1.0,
+    beta: float = 2.0,
+    name: str | None = None,
+) -> NetworkAlignmentProblem:
+    """Load A.smat, B.smat, L.smat from ``directory``."""
+    a_graph = read_graph(os.path.join(directory, "A.smat"))
+    b_graph = read_graph(os.path.join(directory, "B.smat"))
+    ell = read_bipartite(os.path.join(directory, "L.smat"))
+    return NetworkAlignmentProblem(
+        a_graph,
+        b_graph,
+        ell,
+        alpha=alpha,
+        beta=beta,
+        name=name or os.path.basename(os.path.normpath(directory)),
+    )

@@ -1,0 +1,83 @@
+"""Graph perturbations used when deriving A and B from a common G (§VI-A)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.errors import ConfigurationError
+from repro.graph.graph import Graph
+
+__all__ = ["add_random_edges", "relabel", "drop_random_edges"]
+
+
+def add_random_edges(
+    graph: Graph, p: float, seed: int | np.random.Generator | None = None
+) -> Graph:
+    """Add each absent vertex pair as an edge independently w.p. ``p``.
+
+    This is the §VI-A perturbation ("randomly add edges with probability
+    0.02").  Sampling is done by drawing the number of added pairs from a
+    binomial over all C(n,2) pairs and then sampling pair keys without
+    replacement — O(added) rather than O(n²) memory.
+    """
+    if not (0.0 <= p <= 1.0):
+        raise ConfigurationError("p must be a probability")
+    rng = as_rng(seed)
+    n = graph.n
+    total_pairs = n * (n - 1) // 2
+    if total_pairs == 0 or p == 0.0:
+        return graph
+    n_new = int(rng.binomial(total_pairs, p))
+    if n_new == 0:
+        return graph
+    # Sample distinct pair keys; key k encodes the pair via triangular
+    # indexing.  Oversample to absorb collisions with existing edges.
+    keys = rng.choice(total_pairs, size=min(total_pairs, n_new), replace=False)
+    u, v = _pair_from_key(keys, n)
+    return Graph.from_edges(
+        n,
+        np.concatenate([graph.edge_u, u]),
+        np.concatenate([graph.edge_v, v]),
+    )
+
+
+def _pair_from_key(keys: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Invert triangular indexing: key → (u, v) with u < v."""
+    # key = u*n - u*(u+1)/2 + (v - u - 1) for 0 <= u < v < n.
+    keys = np.asarray(keys, dtype=np.int64)
+    u = np.floor(
+        (2 * n - 1 - np.sqrt((2 * n - 1) ** 2 - 8 * keys.astype(np.float64)))
+        / 2
+    ).astype(np.int64)
+    np.clip(u, 0, n - 2, out=u)
+
+    def base(row: np.ndarray) -> np.ndarray:
+        return row * n - row * (row + 1) // 2
+
+    # One-step correction for floating-point boundary errors.
+    u = np.where((u + 1 <= n - 2) & (base(u + 1) <= keys), u + 1, u)
+    u = np.where(base(u) > keys, u - 1, u)
+    v = (keys - base(u)) + u + 1
+    return u, v
+
+
+def drop_random_edges(
+    graph: Graph, p: float, seed: int | np.random.Generator | None = None
+) -> Graph:
+    """Remove each edge independently with probability ``p``."""
+    if not (0.0 <= p <= 1.0):
+        raise ConfigurationError("p must be a probability")
+    rng = as_rng(seed)
+    keep = rng.random(graph.m) >= p
+    return Graph(graph.n, graph.edge_u[keep], graph.edge_v[keep])
+
+
+def relabel(
+    graph: Graph, permutation: np.ndarray
+) -> Graph:
+    """Return the graph with vertex ids mapped through ``permutation``."""
+    perm = np.asarray(permutation, dtype=np.int64)
+    if sorted(perm.tolist()) != list(range(graph.n)):
+        raise ConfigurationError("not a permutation of the vertex set")
+    return Graph.from_edges(graph.n, perm[graph.edge_u], perm[graph.edge_v])

@@ -1,0 +1,5 @@
+"""Compact undirected-graph substrate (the input graphs A and B)."""
+
+from repro.graph.graph import Graph
+
+__all__ = ["Graph"]

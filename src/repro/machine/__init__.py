@@ -1,0 +1,50 @@
+"""Simulated NUMA multicore machine (the hardware substitution).
+
+The paper's scaling study ran OpenMP C++ on an 8-socket Intel Xeon
+E7-8870.  Pure Python cannot reproduce shared-memory thread scaling (the
+GIL serializes it — demonstrated honestly in :mod:`repro.parallel`), so
+this package provides a deterministic machine model instead:
+
+* algorithms record **work traces** — measured per-item operation counts
+  and bytes from their *real* execution (:mod:`~repro.machine.trace`);
+* a machine **topology** describes sockets, cores, SMT, caches, DRAM
+  bandwidth and NUMA latency (:mod:`~repro.machine.topology`);
+* thread **placement** implements KMP_AFFINITY compact/scatter
+  (:mod:`~repro.machine.affinity`);
+* an OpenMP-like **runtime** schedules the traces over the placed threads
+  under a bound/interleave memory policy and returns simulated times
+  (:mod:`~repro.machine.runtime`).
+
+The model never invents workloads; only the mapping from measured work to
+time is synthetic.  See DESIGN.md §1 for the substitution argument.
+"""
+
+from repro.machine.affinity import ThreadPlacement, place_threads
+from repro.machine.distributed import ClusterTopology, DistributedRuntime
+from repro.machine.runtime import SimulatedRuntime, StepTiming
+from repro.machine.topology import MachineTopology, xeon_e7_8870
+from repro.machine.trace import (
+    AlgorithmTracer,
+    IterationTrace,
+    LoopTrace,
+    RoundedLoopTrace,
+    SerialTrace,
+    TaskGroupTrace,
+)
+
+__all__ = [
+    "AlgorithmTracer",
+    "ClusterTopology",
+    "DistributedRuntime",
+    "IterationTrace",
+    "LoopTrace",
+    "MachineTopology",
+    "RoundedLoopTrace",
+    "SerialTrace",
+    "SimulatedRuntime",
+    "StepTiming",
+    "TaskGroupTrace",
+    "ThreadPlacement",
+    "place_threads",
+    "xeon_e7_8870",
+]

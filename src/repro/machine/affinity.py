@@ -1,0 +1,92 @@
+"""Thread placement: the KMP_AFFINITY compact/scatter policies (§VIII-B).
+
+``compact`` packs threads onto as few cores/sockets as possible (SMT
+siblings together); ``scatter`` distributes threads round-robin across
+sockets, one per physical core first, hyperthreads only after every core
+has one thread.  The placement determines which sockets' caches, memory
+controllers, and SMT lanes a run exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine.topology import MachineTopology
+
+__all__ = ["ThreadPlacement", "place_threads", "AFFINITY_POLICIES"]
+
+AFFINITY_POLICIES = ("compact", "scatter")
+
+
+@dataclass(frozen=True)
+class ThreadPlacement:
+    """Where each simulated thread lives.
+
+    Arrays are indexed by thread id: ``socket``, ``core`` (global core
+    id), ``smt_lane`` (0 = first hyperthread of the core).
+    """
+
+    socket: np.ndarray
+    core: np.ndarray
+    smt_lane: np.ndarray
+
+    @property
+    def n_threads(self) -> int:
+        """Number of placed threads."""
+        return len(self.socket)
+
+    def sockets_in_use(self) -> np.ndarray:
+        """Sorted socket ids hosting at least one thread."""
+        return np.unique(self.socket)
+
+    def threads_per_socket(self) -> dict[int, int]:
+        """Socket id → thread count."""
+        ids, counts = np.unique(self.socket, return_counts=True)
+        return dict(zip(ids.tolist(), counts.tolist()))
+
+    def core_occupancy(self) -> np.ndarray:
+        """Per-thread count of threads sharing its physical core."""
+        _, inverse, counts = np.unique(
+            self.core, return_inverse=True, return_counts=True
+        )
+        return counts[inverse]
+
+
+def place_threads(
+    topology: MachineTopology, n_threads: int, policy: str
+) -> ThreadPlacement:
+    """Assign ``n_threads`` to hardware threads under ``policy``."""
+    if policy not in AFFINITY_POLICIES:
+        raise ConfigurationError(
+            f"unknown affinity {policy!r}; expected {AFFINITY_POLICIES}"
+        )
+    if not (1 <= n_threads <= topology.max_threads):
+        raise ConfigurationError(
+            f"n_threads must be in [1, {topology.max_threads}]"
+        )
+    cps = topology.cores_per_socket
+    smt = topology.smt_per_core
+    if policy == "compact":
+        # Fill SMT lanes of a core, then the next core, then next socket.
+        hw = np.arange(n_threads)
+        core = hw // smt
+        lane = hw % smt
+        socket = core // cps
+    else:  # scatter
+        n_cores = topology.n_cores
+        hw = np.arange(n_threads)
+        lane = hw // n_cores
+        idx = hw % n_cores
+        # Round-robin over sockets: thread i -> socket i % n_sockets,
+        # core slot i // n_sockets within the socket.
+        socket = idx % topology.n_sockets
+        core_in_socket = idx // topology.n_sockets
+        core = socket * cps + core_in_socket
+    return ThreadPlacement(
+        socket=socket.astype(np.int64),
+        core=core.astype(np.int64),
+        smt_lane=lane.astype(np.int64),
+    )

@@ -1,0 +1,296 @@
+"""The OpenMP-like simulated runtime: work traces → time (§VIII).
+
+Model summary (constants live in :class:`~repro.machine.topology.MachineTopology`):
+
+* **Compute**: a thread retires ``core_rate`` work units/s; when two SMT
+  threads share a core each gets ``smt_efficiency`` of that.
+* **Memory**: per-item bytes are streamed at the thread's achievable
+  bandwidth — the lesser of the core's streaming limit and its share of
+  the backing pool: socket 0's DRAM controller under ``bound`` (numactl
+  --membind), the aggregate of all controllers under ``interleave``
+  (--interleave=all).  Remote accesses (other-socket pool pages) pay the
+  QPI latency factor.  Loops whose footprint fits the L3 of the sockets
+  in use stream from cache instead (this is why the small bioinformatics
+  problems stop scaling at one socket in the paper — no memory wall, so
+  only fork/barrier overheads grow).
+* **Scheduling**: ``static`` deals chunks round-robin; ``dynamic``
+  simulates a work queue (earliest-free thread takes the next chunk, one
+  atomic per grab) — §IV-A's dynamic/chunk-1000 recommendation for the
+  imbalanced S loops falls out of this.
+* **Synchronization**: every parallel loop pays a fork/join plus a
+  logarithmic barrier; locally-dominant matching pays one barrier per
+  Phase-2 round plus its measured atomic queue updates; batched rounding
+  runs tasks with nested parallelism and the paper's nested memory
+  penalty.
+
+The runtime never looks at problem data — only at traces measured from
+real executions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TraceError
+from repro.machine.affinity import ThreadPlacement, place_threads
+from repro.machine.topology import MachineTopology
+from repro.machine.trace import (
+    IterationTrace,
+    LoopTrace,
+    RoundedLoopTrace,
+    SerialTrace,
+    TaskGroupTrace,
+)
+
+__all__ = ["SimulatedRuntime", "StepTiming", "MEMORY_POLICIES"]
+
+MEMORY_POLICIES = ("bound", "interleave")
+
+
+@dataclass(frozen=True)
+class StepTiming:
+    """Simulated per-step seconds for one iteration."""
+
+    total: float
+    per_step: dict[str, float] = field(default_factory=dict)
+
+
+class SimulatedRuntime:
+    """Executes work traces on a simulated NUMA machine."""
+
+    def __init__(
+        self,
+        topology: MachineTopology,
+        n_threads: int,
+        memory: str = "interleave",
+        affinity: str = "scatter",
+        *,
+        memory_penalty: float = 1.0,
+        l3_share: float = 1.0,
+        pool_share: float = 1.0,
+    ) -> None:
+        if memory not in MEMORY_POLICIES:
+            raise ConfigurationError(
+                f"unknown memory policy {memory!r}; expected {MEMORY_POLICIES}"
+            )
+        self.topology = topology
+        self.n_threads = n_threads
+        self.memory = memory
+        self.affinity = affinity
+        self.placement: ThreadPlacement = place_threads(
+            topology, n_threads, affinity
+        )
+        occupancy = self.placement.core_occupancy()
+        self._rate = np.where(
+            occupancy > 1,
+            topology.core_rate * topology.smt_efficiency,
+            topology.core_rate,
+        ).astype(np.float64)
+
+        n_sockets = topology.n_sockets
+        if memory == "bound":
+            pool_bw = topology.dram_bw_per_socket * pool_share
+            lat = np.where(
+                self.placement.socket == 0,
+                1.0,
+                topology.remote_latency_factor,
+            )
+        else:
+            pool_bw = topology.total_dram_bw * pool_share
+            # Pages round-robin over sockets: (n-1)/n of accesses remote.
+            avg = (
+                1.0 + (n_sockets - 1) * topology.remote_latency_factor
+            ) / n_sockets
+            lat = np.full(n_threads, avg)
+        self._lat = np.broadcast_to(
+            np.asarray(lat, dtype=np.float64) * memory_penalty, (n_threads,)
+        )
+        share = pool_bw / n_threads
+        self._dram_bw = np.full(
+            n_threads, min(topology.core_stream_bw, share)
+        )
+
+        sockets_used = len(self.placement.sockets_in_use())
+        # A loop only streams from cache if its footprint fits with
+        # headroom (real caches suffer conflict misses near capacity);
+        # concurrent nested tasks split the capacity (`l3_share`).
+        self._l3_capacity = (
+            0.6 * sockets_used * topology.l3_bytes_per_socket * l3_share
+        )
+        l3_bw_share = sockets_used * topology.l3_bw_per_socket / n_threads
+        self._l3_bw = np.full(
+            n_threads, min(topology.core_stream_bw * 2.0, l3_bw_share)
+        )
+
+    # ------------------------------------------------------------------
+    def atomic_cost(self) -> float:
+        """Cost of one contended atomic RMW at this thread count."""
+        t = self.topology
+        return t.atomic_s + t.atomic_contention_s * (self.n_threads - 1)
+
+    def _seconds_per_byte(
+        self, total_bytes: float, random_frac: float
+    ) -> np.ndarray:
+        """Effective per-thread seconds/byte for a loop.
+
+        Two traffic classes:
+
+        * *Streamed* bytes (fraction ``1 − random_frac``) are compulsory
+          misses — each byte is read once, so the L3 cannot help them;
+          they always pay the memory-pool bandwidth and NUMA latency.
+        * *Gathered* bytes (fraction ``random_frac``) re-touch hot arrays
+          (mate/candidate vectors, message values behind a permutation).
+          The portion of that hot footprint that fits the available L3
+          is served from cache at a mild penalty; the spill pays the full
+          random-access DRAM penalty.
+
+        The cache blend is continuous in the footprint — no cliff at the
+        capacity (real caches degrade gradually).
+        """
+        topo = self.topology
+        stream = (1.0 - random_frac) * self._lat / self._dram_bw
+        if random_frac <= 0.0:
+            return stream
+        gather_bytes = total_bytes * random_frac
+        hit = 1.0
+        if gather_bytes > 0:
+            hit = min(1.0, self._l3_capacity / gather_bytes)
+        gather = random_frac * (
+            hit * topo.random_access_factor_cached / self._l3_bw
+            + (1.0 - hit)
+            * topo.random_access_factor
+            * self._lat
+            / self._dram_bw
+        )
+        return stream + gather
+
+    def _time_on_thread(
+        self, cost: np.ndarray | float, byt: np.ndarray | float,
+        t: int, spb: np.ndarray,
+    ) -> np.ndarray | float:
+        return cost / self._rate[t] + byt * spb[t]
+
+    # ------------------------------------------------------------------
+    def loop_time(self, trace: LoopTrace) -> float:
+        """Simulated wall time of one parallel-for (including overheads)."""
+        cost_chunks, byte_chunks = trace.chunk_totals()
+        spb = self._seconds_per_byte(trace.total_bytes, trace.random_frac)
+        p = self.n_threads
+        t_obj = self.topology
+        n_chunks = len(cost_chunks)
+        if p == 1:
+            body = float(
+                self._time_on_thread(
+                    cost_chunks.sum(), byte_chunks.sum(), 0, spb
+                )
+            )
+            return body + t_obj.fork_join_s
+        if trace.schedule == "static":
+            finish = 0.0
+            for t in range(min(p, n_chunks)):
+                tt = float(
+                    np.sum(
+                        self._time_on_thread(
+                            cost_chunks[t::p], byte_chunks[t::p], t, spb
+                        )
+                    )
+                )
+                finish = max(finish, tt)
+        else:
+            grab = self.atomic_cost()
+            heap = [(0.0, t) for t in range(p)]
+            heapq.heapify(heap)
+            finish = 0.0
+            for i in range(n_chunks):
+                avail, t = heapq.heappop(heap)
+                done = avail + grab + float(
+                    self._time_on_thread(
+                        cost_chunks[i], byte_chunks[i], t, spb
+                    )
+                )
+                finish = max(finish, done)
+                heapq.heappush(heap, (done, t))
+        return finish + t_obj.fork_join_s + t_obj.barrier_s(p)
+
+    def serial_time(self, trace: SerialTrace) -> float:
+        """Simulated time of serial work (runs on thread 0)."""
+        spb = self._seconds_per_byte(trace.total_bytes, 0.0)
+        return float(
+            self._time_on_thread(trace.cost, trace.total_bytes, 0, spb)
+        )
+
+    def rounded_loop_time(self, trace: RoundedLoopTrace) -> float:
+        """Matching: barrier-separated rounds plus atomic queue updates.
+
+        Queue pushes go through fetch-and-add counters; with striping the
+        machine absorbs them on ``atomic_parallelism`` lanes, so each
+        round carries an additive atomic term that stops improving once
+        the lanes are saturated.
+        """
+        lanes = max(1, min(self.n_threads, self.topology.atomic_parallelism))
+        total = 0.0
+        for rnd, atomics in zip(trace.rounds, trace.atomics_per_round):
+            body = self.loop_time(rnd)
+            total += body + atomics * self.topology.atomic_s / lanes
+        return total
+
+    def task_group_time(self, trace: TaskGroupTrace) -> float:
+        """Batched rounding: OpenMP tasks with nested parallelism (§IV-C).
+
+        ``r`` tasks over ``p`` threads run ``min(p, r)`` at a time with
+        ``max(1, p // r)`` threads each; nested teams ignore memory
+        layout, so their memory time carries the nested penalty.
+        """
+        r = len(trace.tasks)
+        if r == 0:
+            return 0.0
+        p = self.n_threads
+        slots = min(p, r)
+        threads_per_task = max(1, p // r)
+        penalty = (
+            self.topology.nested_memory_penalty
+            if threads_per_task > 1
+            else 1.0
+        )
+        # Nested teams are layout-oblivious (§VIII-C): place them
+        # compactly and share the cache between concurrent tasks.
+        nested = SimulatedRuntime(
+            self.topology,
+            threads_per_task,
+            memory=self.memory,
+            affinity="compact",
+            memory_penalty=penalty,
+            l3_share=1.0 / slots,
+            pool_share=1.0 / slots,  # concurrent tasks share the DRAM pool
+        )
+        heap = [0.0] * slots
+        heapq.heapify(heap)
+        for task in trace.tasks:
+            start = heapq.heappop(heap)
+            heapq.heappush(heap, start + nested.rounded_loop_time(task))
+        return max(heap)
+
+    # ------------------------------------------------------------------
+    def trace_time(self, trace) -> float:
+        """Dispatch on trace type."""
+        if isinstance(trace, LoopTrace):
+            return self.loop_time(trace)
+        if isinstance(trace, SerialTrace):
+            return self.serial_time(trace)
+        if isinstance(trace, RoundedLoopTrace):
+            return self.rounded_loop_time(trace)
+        if isinstance(trace, TaskGroupTrace):
+            return self.task_group_time(trace)
+        raise TraceError(f"unknown trace type {type(trace).__name__}")
+
+    def iteration_timing(self, iteration: IterationTrace) -> StepTiming:
+        """Simulated seconds for one iteration, broken down per step."""
+        per_step: dict[str, float] = {}
+        for step in iteration.steps:
+            per_step[step.name] = per_step.get(step.name, 0.0) + sum(
+                self.trace_time(item) for item in step.items
+            )
+        return StepTiming(total=sum(per_step.values()), per_step=per_step)

@@ -1,0 +1,166 @@
+"""JSON (de)serialization of work traces.
+
+Trace capture requires a real algorithm run; replay only needs the
+traces.  Persisting them lets a slow capture (a large stand-in instance)
+be shared and re-simulated under many machine configurations without
+re-running the algorithm — the reproducibility artifact behind the
+scaling figures.
+
+Format: a single JSON document, versioned; per-item cost arrays are
+stored as plain lists (they are the measured data — no lossy
+compression).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.machine.trace import (
+    IterationTrace,
+    LoopTrace,
+    RoundedLoopTrace,
+    SerialTrace,
+    StepTrace,
+    TaskGroupTrace,
+)
+
+__all__ = ["traces_to_json", "traces_from_json", "save_traces", "load_traces"]
+
+FORMAT_VERSION = 1
+
+
+def _encode(trace: Any) -> dict:
+    if isinstance(trace, LoopTrace):
+        return {
+            "kind": "loop",
+            "name": trace.name,
+            "n_items": trace.n_items,
+            "uniform_cost": trace.uniform_cost,
+            "uniform_bytes": trace.uniform_bytes,
+            "costs": None if trace.costs is None else trace.costs.tolist(),
+            "bytes_per_item": (
+                None
+                if trace.bytes_per_item is None
+                else trace.bytes_per_item.tolist()
+            ),
+            "schedule": trace.schedule,
+            "chunk": trace.chunk,
+            "random_frac": trace.random_frac,
+        }
+    if isinstance(trace, SerialTrace):
+        return {
+            "kind": "serial",
+            "name": trace.name,
+            "cost": trace.cost,
+            "total_bytes": trace.total_bytes,
+        }
+    if isinstance(trace, RoundedLoopTrace):
+        return {
+            "kind": "rounded",
+            "name": trace.name,
+            "rounds": [_encode(r) for r in trace.rounds],
+            "atomics_per_round": list(trace.atomics_per_round),
+        }
+    if isinstance(trace, TaskGroupTrace):
+        return {
+            "kind": "taskgroup",
+            "name": trace.name,
+            "tasks": [_encode(t) for t in trace.tasks],
+        }
+    raise TraceError(f"cannot serialize {type(trace).__name__}")
+
+
+def _decode(obj: dict) -> Any:
+    kind = obj.get("kind")
+    if kind == "loop":
+        return LoopTrace(
+            name=obj["name"],
+            n_items=obj["n_items"],
+            uniform_cost=obj["uniform_cost"],
+            uniform_bytes=obj["uniform_bytes"],
+            costs=(
+                None if obj["costs"] is None
+                else np.asarray(obj["costs"], dtype=np.float64)
+            ),
+            bytes_per_item=(
+                None if obj["bytes_per_item"] is None
+                else np.asarray(obj["bytes_per_item"], dtype=np.float64)
+            ),
+            schedule=obj["schedule"],
+            chunk=obj["chunk"],
+            random_frac=obj.get("random_frac", 0.0),
+        )
+    if kind == "serial":
+        return SerialTrace(obj["name"], obj["cost"], obj["total_bytes"])
+    if kind == "rounded":
+        return RoundedLoopTrace(
+            name=obj["name"],
+            rounds=tuple(_decode(r) for r in obj["rounds"]),
+            atomics_per_round=tuple(obj["atomics_per_round"]),
+        )
+    if kind == "taskgroup":
+        return TaskGroupTrace(
+            name=obj["name"],
+            tasks=tuple(_decode(t) for t in obj["tasks"]),
+        )
+    raise TraceError(f"unknown trace kind {kind!r}")
+
+
+def traces_to_json(iterations: Sequence[IterationTrace]) -> str:
+    """Serialize iteration traces to a JSON string."""
+    doc = {
+        "format": "netalign-mc-traces",
+        "version": FORMAT_VERSION,
+        "iterations": [
+            {
+                "steps": [
+                    {
+                        "name": step.name,
+                        "items": [_encode(t) for t in step.items],
+                    }
+                    for step in it.steps
+                ]
+            }
+            for it in iterations
+        ],
+    }
+    return json.dumps(doc)
+
+
+def traces_from_json(text: str) -> list[IterationTrace]:
+    """Parse iteration traces from :func:`traces_to_json` output."""
+    doc = json.loads(text)
+    if doc.get("format") != "netalign-mc-traces":
+        raise TraceError("not a netalign-mc trace document")
+    if doc.get("version") != FORMAT_VERSION:
+        raise TraceError(
+            f"unsupported trace format version {doc.get('version')}"
+        )
+    return [
+        IterationTrace(
+            steps=[
+                StepTrace(
+                    name=step["name"],
+                    items=[_decode(t) for t in step["items"]],
+                )
+                for step in it["steps"]
+            ]
+        )
+        for it in doc["iterations"]
+    ]
+
+
+def save_traces(path: str, iterations: Sequence[IterationTrace]) -> None:
+    """Write traces to ``path`` as JSON."""
+    with open(path, "w") as fh:
+        fh.write(traces_to_json(iterations))
+
+
+def load_traces(path: str) -> list[IterationTrace]:
+    """Read traces written by :func:`save_traces`."""
+    with open(path) as fh:
+        return traces_from_json(fh.read())

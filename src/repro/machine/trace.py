@@ -1,0 +1,436 @@
+"""Work traces: what the algorithms *measured* themselves doing.
+
+The machine model's honesty rests on this module: a trace records per-item
+operation counts and bytes touched by a real execution on a real problem
+instance; :class:`~repro.machine.runtime.SimulatedRuntime` only schedules
+them.  Four trace shapes cover the paper's kernels:
+
+* :class:`LoopTrace` — one OpenMP ``parallel for`` (static or dynamic
+  schedule, chunked); the unit of Figures 4–7.
+* :class:`SerialTrace` — unparallelized bookkeeping.
+* :class:`RoundedLoopTrace` — the locally-dominant matcher: a sequence of
+  parallel rounds with a barrier and atomic queue updates between rounds
+  (Algorithm 1's Phase 2 ``while`` loop).
+* :class:`TaskGroupTrace` — BP's batched rounding: ``r`` matchings run as
+  OpenMP tasks with nested parallelism (§IV-C).
+
+:class:`AlgorithmTracer` is the duck-typed collector the core algorithms
+call into; it groups traces by pseudo-code step and iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.matching.result import MatchingResult, RoundStats
+from repro.sparse.bipartite import BipartiteGraph
+
+__all__ = [
+    "LoopTrace",
+    "SerialTrace",
+    "RoundedLoopTrace",
+    "TaskGroupTrace",
+    "StepTrace",
+    "IterationTrace",
+    "AlgorithmTracer",
+    "matching_to_trace",
+    "scale_trace",
+    "scale_iteration",
+]
+
+#: Default OpenMP chunk size; §IV-A: "a chunk-size of 1000 seemed to
+#: produce the best performance" with dynamic scheduling.
+DEFAULT_CHUNK = 1000
+
+
+@dataclass(frozen=True)
+class LoopTrace:
+    """One parallel-for: per-item work units and bytes.
+
+    Either ``costs`` holds a per-item array (imbalanced loops, e.g. over
+    the rows of S), or the loop is uniform and only ``n_items`` /
+    ``uniform_cost`` / ``uniform_bytes`` are set (streaming kernels like
+    daxpy or damping), keeping traces compact.
+    """
+
+    name: str
+    n_items: int
+    uniform_cost: float = 0.0
+    uniform_bytes: float = 0.0
+    costs: np.ndarray | None = None
+    bytes_per_item: np.ndarray | None = None
+    schedule: str = "dynamic"
+    chunk: int = DEFAULT_CHUNK
+    #: Fraction of this loop's bytes accessed with data-dependent
+    #: (gather/scatter) patterns rather than streaming.  Random accesses
+    #: achieve a small fraction of stream bandwidth; the runtime charges
+    #: them at ``topology.random_access_factor`` × the streamed cost.
+    random_frac: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.schedule not in ("static", "dynamic"):
+            raise TraceError(f"unknown schedule {self.schedule!r}")
+        if self.chunk < 1:
+            raise TraceError("chunk must be >= 1")
+        if self.costs is not None and len(self.costs) != self.n_items:
+            raise TraceError("costs length != n_items")
+        if not (0.0 <= self.random_frac <= 1.0):
+            raise TraceError("random_frac must be in [0, 1]")
+
+    @property
+    def total_cost(self) -> float:
+        """Total work units in the loop."""
+        if self.costs is not None:
+            return float(np.sum(self.costs))
+        return self.uniform_cost * self.n_items
+
+    @property
+    def total_bytes(self) -> float:
+        """Total bytes streamed by the loop."""
+        if self.bytes_per_item is not None:
+            return float(np.sum(self.bytes_per_item))
+        return self.uniform_bytes * self.n_items
+
+    def chunk_totals(self) -> tuple[np.ndarray, np.ndarray]:
+        """Aggregate (cost, bytes) per schedule chunk.
+
+        Chunks are the scheduling unit; per-chunk totals are all the
+        runtime needs, which keeps simulation O(n_chunks).
+        """
+        n_chunks = (self.n_items + self.chunk - 1) // self.chunk
+        if self.costs is None:
+            sizes = np.full(n_chunks, self.chunk, dtype=np.float64)
+            if self.n_items % self.chunk:
+                sizes[-1] = self.n_items % self.chunk
+            return sizes * self.uniform_cost, sizes * self.uniform_bytes
+        bounds = np.arange(0, self.n_items, self.chunk)
+        cost_chunks = np.add.reduceat(
+            np.asarray(self.costs, dtype=np.float64), bounds
+        )
+        if self.bytes_per_item is not None:
+            byte_chunks = np.add.reduceat(
+                np.asarray(self.bytes_per_item, dtype=np.float64), bounds
+            )
+        else:
+            sizes = np.minimum(bounds + self.chunk, self.n_items) - bounds
+            byte_chunks = sizes * self.uniform_bytes
+        return cost_chunks, byte_chunks
+
+
+@dataclass(frozen=True)
+class SerialTrace:
+    """Unparallelized work (runs on one thread, no barrier)."""
+
+    name: str
+    cost: float
+    total_bytes: float = 0.0
+
+
+@dataclass(frozen=True)
+class RoundedLoopTrace:
+    """The locally-dominant matcher: barrier-separated parallel rounds."""
+
+    name: str
+    rounds: tuple[LoopTrace, ...]
+    atomics_per_round: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.rounds) != len(self.atomics_per_round):
+            raise TraceError("rounds and atomics_per_round length mismatch")
+
+    @property
+    def total_cost(self) -> float:
+        """Total work units across all rounds."""
+        return sum(r.total_cost for r in self.rounds)
+
+    @property
+    def total_bytes(self) -> float:
+        """Total bytes across all rounds."""
+        return sum(r.total_bytes for r in self.rounds)
+
+
+@dataclass(frozen=True)
+class TaskGroupTrace:
+    """OpenMP task group with nested parallelism (batched rounding)."""
+
+    name: str
+    tasks: tuple[RoundedLoopTrace, ...]
+
+
+AnyTrace = Union[LoopTrace, SerialTrace, RoundedLoopTrace, TaskGroupTrace]
+
+
+@dataclass
+class StepTrace:
+    """All work of one pseudo-code step within one iteration."""
+
+    name: str
+    items: list[AnyTrace] = field(default_factory=list)
+
+
+@dataclass
+class IterationTrace:
+    """One iteration of an alignment method, grouped by step."""
+
+    steps: list[StepTrace] = field(default_factory=list)
+
+    def step_names(self) -> list[str]:
+        """Names of the steps in execution order."""
+        return [s.name for s in self.steps]
+
+
+def matching_to_trace(
+    name: str,
+    matching: MatchingResult,
+    ell: BipartiteGraph,
+    *,
+    bytes_per_scan: float = 12.0,
+    work_scale: float = 0.5,
+) -> RoundedLoopTrace:
+    """Convert a matcher's :class:`RoundStats` into a round-based trace.
+
+    Every Phase-2 round becomes a parallel loop over the queued vertices;
+    the per-vertex cost is the round's measured adjacency scans divided
+    evenly across the queue (the runtime re-chunks anyway).  Matchers run
+    with round collection enabled must be used, otherwise the trace would
+    be empty — that is rejected loudly.
+
+    ``work_scale`` maps the vectorized matcher's rescan accounting (which
+    re-runs FindMate for *every* free vertex each round) to the paper's
+    production configuration — the one-sided bipartite initialization
+    plus targeted Phase-2 rescans, which does roughly half the scans
+    (measured by ``bench_ablation_init``).
+    """
+    if not matching.rounds:
+        raise TraceError(
+            "matching has no round stats; run the locally-dominant matcher "
+            "with collect_rounds=True"
+        )
+    rounds = []
+    atomics = []
+    for rs in matching.rounds:
+        queue = max(1, rs.queue_size)
+        per_item = max(1.0, work_scale * rs.adjacency_scanned / queue)
+        rounds.append(
+            LoopTrace(
+                name=f"{name}/round{rs.round_index}",
+                n_items=queue,
+                uniform_cost=per_item,
+                uniform_bytes=per_item * bytes_per_scan,
+                schedule="dynamic",
+                chunk=max(1, min(DEFAULT_CHUNK, queue // 8 or 1)),
+                # Adjacency lists stream; mate/candidate probes gather.
+                random_frac=0.5,
+            )
+        )
+        atomics.append(rs.atomics)
+    return RoundedLoopTrace(
+        name=name, rounds=tuple(rounds), atomics_per_round=tuple(atomics)
+    )
+
+
+def scale_trace(trace: AnyTrace, factor: float) -> AnyTrace:
+    """Extrapolate a trace to a ``factor``× larger problem.
+
+    The Python stand-ins for the paper's ontology instances run at reduced
+    scale; their traces have the full problem's *per-item* characteristics
+    but fewer items.  Scaling multiplies item counts (tiling measured cost
+    arrays, preserving the imbalance profile) so the machine model sees
+    the full-size footprint — in particular, working sets that exceed the
+    L3 like the paper's.  Log-factor quantities (matcher round counts) are
+    left unchanged; queue sizes within rounds scale.
+    """
+    if factor == 1.0:
+        return trace
+    if factor <= 0:
+        raise TraceError("scale factor must be positive")
+    if isinstance(trace, SerialTrace):
+        return SerialTrace(
+            trace.name, trace.cost * factor, trace.total_bytes * factor
+        )
+    if isinstance(trace, LoopTrace):
+        n_items = max(1, int(round(trace.n_items * factor)))
+        if trace.costs is None:
+            return LoopTrace(
+                name=trace.name,
+                n_items=n_items,
+                uniform_cost=trace.uniform_cost,
+                uniform_bytes=trace.uniform_bytes,
+                schedule=trace.schedule,
+                chunk=trace.chunk,
+                random_frac=trace.random_frac,
+            )
+        reps = int(np.ceil(n_items / max(1, trace.n_items)))
+        costs = np.tile(trace.costs, reps)[:n_items]
+        byts = (
+            np.tile(trace.bytes_per_item, reps)[:n_items]
+            if trace.bytes_per_item is not None
+            else None
+        )
+        return LoopTrace(
+            name=trace.name,
+            n_items=n_items,
+            costs=costs,
+            bytes_per_item=byts,
+            uniform_bytes=trace.uniform_bytes,
+            schedule=trace.schedule,
+            chunk=trace.chunk,
+            random_frac=trace.random_frac,
+        )
+    if isinstance(trace, RoundedLoopTrace):
+        return RoundedLoopTrace(
+            name=trace.name,
+            rounds=tuple(scale_trace(r, factor) for r in trace.rounds),
+            atomics_per_round=tuple(
+                int(round(a * factor)) for a in trace.atomics_per_round
+            ),
+        )
+    if isinstance(trace, TaskGroupTrace):
+        return TaskGroupTrace(
+            name=trace.name,
+            tasks=tuple(scale_trace(t, factor) for t in trace.tasks),
+        )
+    raise TraceError(f"cannot scale trace type {type(trace).__name__}")
+
+
+def scale_iteration(iteration: IterationTrace, factor: float) -> IterationTrace:
+    """Scale every trace of an iteration (see :func:`scale_trace`)."""
+    return IterationTrace(
+        steps=[
+            StepTrace(
+                name=s.name,
+                items=[scale_trace(t, factor) for t in s.items],
+            )
+            for s in iteration.steps
+        ]
+    )
+
+
+class AlgorithmTracer:
+    """Collects per-step work traces from an algorithm run.
+
+    The core algorithms call :meth:`loop` / :meth:`uniform_loop` /
+    :meth:`matching` / :meth:`rounding_batch` during each iteration and
+    :meth:`end_iteration` at its end.  ``iterations`` then holds one
+    :class:`IterationTrace` per iteration; :meth:`representative` returns
+    a steady-state iteration for the scaling study.
+    """
+
+    def __init__(self) -> None:
+        self.iterations: list[IterationTrace] = []
+        self._current: IterationTrace = IterationTrace()
+        self._pending_batches: list[StepTrace] = []
+
+    # -- collection hooks (duck-typed interface used by repro.core) -----
+    def loop(
+        self,
+        name: str,
+        costs: np.ndarray,
+        bytes_per_item: np.ndarray | float,
+        *,
+        schedule: str = "dynamic",
+        chunk: int = DEFAULT_CHUNK,
+        random_frac: float = 0.0,
+    ) -> None:
+        """Record an imbalanced parallel-for with per-item costs."""
+        costs = np.asarray(costs, dtype=np.float64)
+        if np.isscalar(bytes_per_item):
+            trace = LoopTrace(
+                name=name,
+                n_items=len(costs),
+                costs=costs,
+                uniform_bytes=float(bytes_per_item),
+                schedule=schedule,
+                chunk=chunk,
+                random_frac=random_frac,
+            )
+        else:
+            trace = LoopTrace(
+                name=name,
+                n_items=len(costs),
+                costs=costs,
+                bytes_per_item=np.asarray(bytes_per_item, dtype=np.float64),
+                schedule=schedule,
+                chunk=chunk,
+                random_frac=random_frac,
+            )
+        self._step(name).items.append(trace)
+
+    def uniform_loop(
+        self,
+        name: str,
+        n_items: int,
+        cost_per_item: float,
+        bytes_per_item: float,
+        *,
+        schedule: str = "static",
+        chunk: int = DEFAULT_CHUNK,
+        random_frac: float = 0.0,
+    ) -> None:
+        """Record a balanced streaming parallel-for compactly."""
+        self._step(name).items.append(
+            LoopTrace(
+                name=name,
+                n_items=n_items,
+                uniform_cost=cost_per_item,
+                uniform_bytes=bytes_per_item,
+                schedule=schedule,
+                chunk=chunk,
+                random_frac=random_frac,
+            )
+        )
+
+    def serial(self, name: str, cost: float, total_bytes: float = 0.0) -> None:
+        """Record serial work."""
+        self._step(name).items.append(SerialTrace(name, cost, total_bytes))
+
+    def matching(
+        self, name: str, matching: MatchingResult, ell: BipartiteGraph
+    ) -> None:
+        """Record one (approximate) bipartite matching invocation."""
+        self._step(name).items.append(matching_to_trace(name, matching, ell))
+
+    def rounding_batch(
+        self,
+        name: str,
+        matchings: Sequence[MatchingResult],
+        ell: BipartiteGraph,
+    ) -> None:
+        """Record a batch of matchings run as an OpenMP task group."""
+        tasks = tuple(
+            matching_to_trace(f"{name}/task{i}", m, ell)
+            for i, m in enumerate(matchings)
+        )
+        self._step(name).items.append(TaskGroupTrace(name, tasks))
+
+    def end_iteration(self) -> None:
+        """Close the current iteration."""
+        self.iterations.append(self._current)
+        self._current = IterationTrace()
+
+    # -- analysis --------------------------------------------------------
+    def representative(self) -> IterationTrace:
+        """A steady-state iteration (the last one with the most steps).
+
+        Early iterations can differ (empty batches, first-round effects);
+        the scaling study wants a typical one.
+        """
+        if not self.iterations:
+            raise TraceError("no iterations recorded")
+        max_steps = max(len(it.steps) for it in self.iterations)
+        for it in reversed(self.iterations):
+            if len(it.steps) == max_steps:
+                return it
+        return self.iterations[-1]  # pragma: no cover
+
+    def _step(self, name: str) -> StepTrace:
+        for step in self._current.steps:
+            if step.name == name:
+                return step
+        step = StepTrace(name=name)
+        self._current.steps.append(step)
+        return step

@@ -1,0 +1,127 @@
+"""Exact max-weight matching for the tiny row subproblems of Klau's method.
+
+Step 1 of Listing 1 solves one bipartite matching per row of **S**; the
+paper notes "each of these matching problems is small because there are
+only a few non-zeros in each row of S", and always solves them exactly.
+Rows typically hold 1–8 entries, so a depth-first include/exclude search
+with a suffix-sum bound beats any general-purpose solver by a wide
+margin; pathological rows fall back to dense LSAP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+__all__ = ["small_max_weight_matching"]
+
+_DFS_LIMIT = 16  # above this many positive edges, fall back to dense LSAP
+
+
+def small_max_weight_matching(
+    ends_a: np.ndarray, ends_b: np.ndarray, weights: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Exact max-weight matching on a tiny edge list.
+
+    Parameters
+    ----------
+    ends_a, ends_b:
+        Endpoint ids of each candidate edge (arbitrary integers; they are
+        L-vertex ids, only equality matters).
+    weights:
+        Edge weights; non-positive edges are never chosen.
+
+    Returns
+    -------
+    (value, chosen):
+        The optimal matching weight and a boolean mask over the input
+        edges marking the matching.
+    """
+    k = len(weights)
+    chosen = np.zeros(k, dtype=bool)
+    positive = np.flatnonzero(weights > 0)
+    if len(positive) == 0:
+        return 0.0, chosen
+    if len(positive) == 1:
+        chosen[positive[0]] = True
+        return float(weights[positive[0]]), chosen
+
+    pa = ends_a[positive]
+    pb = ends_b[positive]
+    pw = weights[positive]
+
+    if len(positive) > _DFS_LIMIT:
+        return _dense_fallback(positive, pa, pb, pw, chosen)
+
+    # Conflict-free fast path: all edges pairwise disjoint -> take all.
+    if len(np.unique(pa)) == len(pa) and len(np.unique(pb)) == len(pb):
+        chosen[positive] = True
+        return float(pw.sum()), chosen
+
+    # DFS over edges in decreasing weight with a suffix-sum bound.
+    order = np.argsort(-pw, kind="stable")
+    ea = pa[order].tolist()
+    eb = pb[order].tolist()
+    ew = pw[order].tolist()
+    n = len(ew)
+    suffix = [0.0] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        suffix[i] = suffix[i + 1] + ew[i]
+
+    best_val = 0.0
+    best_set: list[int] = []
+    used_a: set[int] = set()
+    used_b: set[int] = set()
+    stack_sel: list[int] = []
+
+    def dfs(idx: int, cur: float) -> None:
+        nonlocal best_val, best_set
+        if cur > best_val:
+            best_val = cur
+            best_set = stack_sel.copy()
+        if idx == n or cur + suffix[idx] <= best_val:
+            return
+        a, b = ea[idx], eb[idx]
+        if a not in used_a and b not in used_b:
+            used_a.add(a)
+            used_b.add(b)
+            stack_sel.append(idx)
+            dfs(idx + 1, cur + ew[idx])
+            stack_sel.pop()
+            used_a.discard(a)
+            used_b.discard(b)
+        dfs(idx + 1, cur)
+
+    dfs(0, 0.0)
+    order_back = positive[order]
+    chosen[order_back[best_set]] = True
+    return float(best_val), chosen
+
+
+def _dense_fallback(
+    positive: np.ndarray,
+    pa: np.ndarray,
+    pb: np.ndarray,
+    pw: np.ndarray,
+    chosen: np.ndarray,
+) -> tuple[float, np.ndarray]:
+    """Dense LSAP on the locally renumbered subgraph (rare large rows)."""
+    ua, ia = np.unique(pa, return_inverse=True)
+    ub, ib = np.unique(pb, return_inverse=True)
+    dense = np.zeros((len(ua), len(ub)))
+    # Duplicate (a, b) pairs keep the heaviest weight.
+    np.maximum.at(dense, (ia, ib), pw)
+    rows, cols = linear_sum_assignment(dense, maximize=True)
+    val = float(dense[rows, cols].sum())
+    pair_best: dict[tuple[int, int], int] = {}
+    for local, (r, c, w) in enumerate(zip(ia, ib, pw)):
+        key = (int(r), int(c))
+        if key not in pair_best or pw[pair_best[key]] < w:
+            pair_best[key] = local
+    selected = {
+        (int(r), int(c)) for r, c in zip(rows, cols) if dense[r, c] > 0
+    }
+    for key, local in pair_best.items():
+        if key in selected:
+            chosen[positive[local]] = True
+    return val, chosen

@@ -1,0 +1,102 @@
+"""Matching results shared by all matcher implementations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import asarray_i64
+from repro.sparse.bipartite import BipartiteGraph
+
+__all__ = ["MatchingResult", "RoundStats"]
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """Per-round instrumentation of the locally-dominant matcher.
+
+    One entry per trip through the Phase-2 ``while`` loop of Algorithm 1
+    (round 0 is Phase-1).  These feed the machine model: ``queue_size`` is
+    the available parallelism and ``adjacency_scanned`` the work.
+    """
+
+    round_index: int
+    queue_size: int
+    vertices_matched: int
+    adjacency_scanned: int
+    atomics: int
+
+
+@dataclass
+class MatchingResult:
+    """A matching in the bipartite graph L.
+
+    Attributes
+    ----------
+    mate_a:
+        Length ``n_a``; ``mate_a[i]`` is the matched B-vertex or ``-1``.
+    mate_b:
+        Length ``n_b``; inverse map, ``-1`` where unmatched.
+    edge_ids:
+        Sorted edge ids of L selected by the matching.
+    weight:
+        Total weight of the selected edges under the weights the matcher
+        was given (not necessarily ``L.weights``).
+    rounds:
+        Optional per-round stats from the locally-dominant matcher.
+    """
+
+    mate_a: np.ndarray
+    mate_b: np.ndarray
+    edge_ids: np.ndarray
+    weight: float
+    rounds: list[RoundStats] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.mate_a = asarray_i64(self.mate_a)
+        self.mate_b = asarray_i64(self.mate_b)
+        self.edge_ids = np.sort(asarray_i64(self.edge_ids))
+
+    @property
+    def cardinality(self) -> int:
+        """Number of matched pairs."""
+        return len(self.edge_ids)
+
+    def indicator(self, n_edges: int) -> np.ndarray:
+        """Return the 0/1 vector **x** over the ``n_edges`` edges of L."""
+        x = np.zeros(n_edges, dtype=np.float64)
+        x[self.edge_ids] = 1.0
+        return x
+
+    @classmethod
+    def from_mates(
+        cls,
+        graph: BipartiteGraph,
+        mate_a: np.ndarray,
+        weights: np.ndarray | None = None,
+        rounds: list[RoundStats] | None = None,
+    ) -> "MatchingResult":
+        """Build a result from the A-side mate array, recovering edge ids.
+
+        ``weights`` defaults to ``graph.weights`` and is only used to fill
+        in the reported matching weight.
+        """
+        mate_a = asarray_i64(mate_a)
+        w = graph.weights if weights is None else weights
+        matched_a = np.flatnonzero(mate_a >= 0)
+        eids = graph.lookup_edges(matched_a, mate_a[matched_a])
+        if len(eids) and eids.min() < 0:
+            missing = matched_a[eids < 0]
+            raise ValueError(
+                f"mate array selects non-edges at A-vertices {missing[:5]}"
+            )
+        mate_b = np.full(graph.n_b, -1, dtype=np.int64)
+        mate_b[mate_a[matched_a]] = matched_a
+        return cls(
+            mate_a=mate_a,
+            mate_b=mate_b,
+            edge_ids=eids,
+            weight=float(w[eids].sum()) if len(eids) else 0.0,
+            rounds=list(rounds) if rounds else [],
+        )

@@ -1,0 +1,73 @@
+"""Structural validation of matchings (used by tests and safety checks)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import asarray_i64
+from repro.errors import NotAMatchingError
+from repro.matching.result import MatchingResult
+from repro.sparse.bipartite import BipartiteGraph
+
+__all__ = ["check_matching", "is_maximal_matching", "matching_weight"]
+
+
+def check_matching(
+    graph: BipartiteGraph, edge_ids: np.ndarray | MatchingResult
+) -> np.ndarray:
+    """Validate that ``edge_ids`` form a matching in ``graph``.
+
+    Returns the sorted edge-id array.  Raises
+    :class:`~repro.errors.NotAMatchingError` if any vertex is covered more
+    than once or an id is out of range.
+    """
+    if isinstance(edge_ids, MatchingResult):
+        edge_ids = edge_ids.edge_ids
+    eids = np.unique(asarray_i64(edge_ids))
+    if isinstance(edge_ids, np.ndarray) and len(eids) != len(edge_ids):
+        raise NotAMatchingError("duplicate edge ids")
+    if len(eids):
+        if eids.min() < 0 or eids.max() >= graph.n_edges:
+            raise NotAMatchingError("edge id out of range")
+        a = graph.edge_a[eids]
+        b = graph.edge_b[eids]
+        if len(np.unique(a)) != len(a):
+            raise NotAMatchingError("an A-vertex is matched twice")
+        if len(np.unique(b)) != len(b):
+            raise NotAMatchingError("a B-vertex is matched twice")
+    return eids
+
+
+def matching_weight(
+    graph: BipartiteGraph,
+    edge_ids: np.ndarray | MatchingResult,
+    weights: np.ndarray | None = None,
+) -> float:
+    """Return the total weight of a (validated) matching."""
+    eids = check_matching(graph, edge_ids)
+    w = graph.weights if weights is None else weights
+    return float(w[eids].sum()) if len(eids) else 0.0
+
+
+def is_maximal_matching(
+    graph: BipartiteGraph,
+    edge_ids: np.ndarray | MatchingResult,
+    weights: np.ndarray | None = None,
+) -> bool:
+    """True if no positive-weight edge can be added to the matching.
+
+    The locally-dominant algorithm guarantees maximality over the
+    positive-weight edge set, which is what yields its cardinality
+    guarantee (paper §V).
+    """
+    eids = check_matching(graph, edge_ids)
+    w = graph.weights if weights is None else weights
+    a_free = np.ones(graph.n_a, dtype=bool)
+    b_free = np.ones(graph.n_b, dtype=bool)
+    if len(eids):
+        a_free[graph.edge_a[eids]] = False
+        b_free[graph.edge_b[eids]] = False
+    addable = (
+        (w > 0) & a_free[graph.edge_a] & b_free[graph.edge_b]
+    )
+    return not bool(addable.any())

@@ -1,0 +1,39 @@
+"""Sparse-matrix substrate: CSR storage and the kernels the paper relies on.
+
+The SC 2012 code stores every matrix in compressed sparse row (CSR) form
+with a *fixed* nonzero structure across iterations, which enables the
+"permutation trick": the transpose of a structurally symmetric matrix is a
+one-time permutation of its value array.  This subpackage provides:
+
+* :class:`~repro.sparse.csr.CSRMatrix` — minimal, validated CSR container.
+* :func:`~repro.sparse.build.coo_to_csr` — linear-time COO→CSR with
+  duplicate handling.
+* :func:`~repro.sparse.permutation.transpose_permutation` — the paper's
+  permutation trick.
+* :mod:`~repro.sparse.ops` — SpMV, row scaling, clipping (``bound``),
+  daxpy; all vectorized, all allocation-free when an ``out`` is supplied.
+* :class:`~repro.sparse.bipartite.BipartiteGraph` — the weighted bipartite
+  graph *L* with row- and column-grouped views over a single edge-id space.
+"""
+
+from repro.sparse.bipartite import BipartiteGraph
+from repro.sparse.build import coo_to_csr
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import bound, daxpy, row_scale, row_sums, spmv
+from repro.sparse.permutation import (
+    check_structural_symmetry,
+    transpose_permutation,
+)
+
+__all__ = [
+    "BipartiteGraph",
+    "CSRMatrix",
+    "bound",
+    "check_structural_symmetry",
+    "coo_to_csr",
+    "daxpy",
+    "row_scale",
+    "row_sums",
+    "spmv",
+    "transpose_permutation",
+]

@@ -1,0 +1,183 @@
+"""A minimal compressed-sparse-row matrix.
+
+We deliberately implement our own CSR container instead of using
+``scipy.sparse``: the algorithms in the paper exploit the *fixed structure*
+of their matrices (value-only updates, transpose-by-permutation, triu/tril
+masks over the value array), and owning the representation keeps those
+idioms explicit.  ``scipy.sparse`` is used only in tests, as an oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import asarray_f64, asarray_i64
+from repro.errors import DimensionError, ValidationError
+
+__all__ = ["CSRMatrix"]
+
+
+@dataclass
+class CSRMatrix:
+    """Compressed sparse row matrix with ``float64`` values.
+
+    Attributes
+    ----------
+    shape:
+        ``(n_rows, n_cols)``.
+    indptr:
+        ``int64`` array of length ``n_rows + 1``; row ``i`` owns the nonzero
+        range ``indptr[i]:indptr[i+1]``.
+    indices:
+        ``int64`` column indices, sorted within each row.
+    data:
+        ``float64`` nonzero values, aligned with ``indices``.
+
+    The structure (``indptr``/``indices``) is treated as immutable after
+    construction; algorithms mutate only ``data`` (the paper's "non-zero
+    patterns and structures remain fixed throughout iterations").
+    """
+
+    shape: tuple[int, int]
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+    _checked: bool = field(default=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.indptr = asarray_i64(self.indptr)
+        self.indices = asarray_i64(self.indices)
+        self.data = asarray_f64(self.data)
+        if not self._checked:
+            self.validate()
+            self._checked = True
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Number of rows."""
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        """Number of columns."""
+        return self.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored nonzeros (explicit zeros count)."""
+        return int(self.indptr[-1])
+
+    def validate(self) -> None:
+        """Raise :class:`ValidationError` unless this is a well-formed CSR."""
+        n_rows, n_cols = self.shape
+        if n_rows < 0 or n_cols < 0:
+            raise DimensionError(f"negative shape {self.shape}")
+        if self.indptr.shape != (n_rows + 1,):
+            raise ValidationError(
+                f"indptr has shape {self.indptr.shape}, expected ({n_rows + 1},)"
+            )
+        if self.indptr[0] != 0:
+            raise ValidationError("indptr[0] must be 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValidationError("indptr must be non-decreasing")
+        nnz = int(self.indptr[-1])
+        if self.indices.shape != (nnz,) or self.data.shape != (nnz,):
+            raise ValidationError(
+                "indices/data length does not match indptr[-1] "
+                f"({self.indices.shape}, {self.data.shape}, nnz={nnz})"
+            )
+        if nnz:
+            if self.indices.min() < 0 or self.indices.max() >= n_cols:
+                raise ValidationError("column index out of range")
+            # Sorted-within-row check, vectorized: a decrease is only legal
+            # at row boundaries.
+            decreases = np.flatnonzero(np.diff(self.indices) < 0) + 1
+            row_starts = self.indptr[1:-1]
+            if not np.isin(decreases, row_starts).all():
+                raise ValidationError("indices must be sorted within each row")
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def row_slice(self, i: int) -> slice:
+        """Return the ``slice`` into ``indices``/``data`` owned by row ``i``."""
+        return slice(int(self.indptr[i]), int(self.indptr[i + 1]))
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(columns, values)`` views for row ``i``."""
+        sl = self.row_slice(i)
+        return self.indices[sl], self.data[sl]
+
+    def row_lengths(self) -> np.ndarray:
+        """Return the per-row nonzero counts (length ``n_rows``)."""
+        return np.diff(self.indptr)
+
+    def row_of_nonzero(self) -> np.ndarray:
+        """Return, for every stored nonzero, the row it belongs to.
+
+        This "expanded row index" array is the workhorse for vectorized
+        per-row scaling (the ``diag(v) @ S`` operations in both methods).
+        """
+        return np.repeat(
+            np.arange(self.n_rows, dtype=np.int64), self.row_lengths()
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Return a dense ``float64`` array (tests / tiny matrices only)."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        rows = self.row_of_nonzero()
+        # ``np.add.at`` sums duplicates, matching sparse semantics.
+        np.add.at(dense, (rows, self.indices), self.data)
+        return dense
+
+    # ------------------------------------------------------------------
+    # Value-space helpers
+    # ------------------------------------------------------------------
+    def copy(self, *, data: np.ndarray | None = None) -> "CSRMatrix":
+        """Return a copy sharing structure arrays but with fresh values.
+
+        Structure arrays are reused (they are immutable by convention),
+        mirroring the paper's preallocate-once discipline.
+        """
+        new_data = self.data.copy() if data is None else asarray_f64(data)
+        if new_data.shape != self.data.shape:
+            raise DimensionError(
+                f"data has shape {new_data.shape}, expected {self.data.shape}"
+            )
+        return CSRMatrix(
+            self.shape, self.indptr, self.indices, new_data, _checked=True
+        )
+
+    def with_values(self, data: np.ndarray) -> "CSRMatrix":
+        """Alias of :meth:`copy` with explicit new values."""
+        return self.copy(data=data)
+
+    def same_structure(self, other: "CSRMatrix") -> bool:
+        """Return True if ``other`` has identical shape and sparsity."""
+        return (
+            self.shape == other.shape
+            and self.indptr.shape == other.indptr.shape
+            and self.indices.shape == other.indices.shape
+            and bool(np.array_equal(self.indptr, other.indptr))
+            and bool(np.array_equal(self.indices, other.indices))
+        )
+
+    def nonzero_coords(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(rows, cols)`` coordinate arrays of the stored nonzeros."""
+        return self.row_of_nonzero(), self.indices.copy()
+
+    # ------------------------------------------------------------------
+    # Triangular masks (Klau's step 5 works on triu/tril of S's structure)
+    # ------------------------------------------------------------------
+    def upper_mask(self) -> np.ndarray:
+        """Boolean mask over stored nonzeros with ``col > row`` (strict triu)."""
+        return self.indices > self.row_of_nonzero()
+
+    def lower_mask(self) -> np.ndarray:
+        """Boolean mask over stored nonzeros with ``col < row`` (strict tril)."""
+        return self.indices < self.row_of_nonzero()

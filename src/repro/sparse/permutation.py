@@ -1,0 +1,70 @@
+"""The paper's "permutation trick" for transposes of fixed-structure matrices.
+
+Section IV-A: *"because S and U are structurally symmetric with the same
+structure, the transposes have the same row pointer and the column index
+arrays. But the value array is permuted. So we compute the permutation and
+whenever we need to transpose one of these matrices, we just permute the
+values array according to the permutation."*
+
+:func:`transpose_permutation` computes that permutation once; afterwards
+``data[perm]`` *is* the value array of the transpose, with zero structural
+work per iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["transpose_permutation", "check_structural_symmetry"]
+
+
+def check_structural_symmetry(mat: CSRMatrix) -> bool:
+    """Return True if the sparsity pattern of ``mat`` is symmetric.
+
+    The matrix must be square.  The check is vectorized: the multiset of
+    ``(row, col)`` coordinates must equal the multiset of ``(col, row)``.
+    """
+    if mat.n_rows != mat.n_cols:
+        return False
+    rows = mat.row_of_nonzero()
+    cols = mat.indices
+    forward = rows * mat.n_cols + cols
+    backward = cols * mat.n_cols + rows
+    return bool(np.array_equal(np.sort(forward), np.sort(backward)))
+
+
+def transpose_permutation(mat: CSRMatrix) -> np.ndarray:
+    """Return ``perm`` with ``transpose(mat).data == mat.data[perm]``.
+
+    ``mat`` must be square and structurally symmetric, so that the transpose
+    shares ``indptr``/``indices`` with the original and only the value array
+    moves.  ``perm`` maps each stored position of the *transpose* (== each
+    stored position of ``mat``, since structures coincide) to the position
+    in ``mat`` holding the transposed value: position ``k`` storing entry
+    ``(i, j)`` receives the value of entry ``(j, i)``.
+
+    The permutation is an involution (``perm[perm] == identity``); tests
+    rely on this.
+    """
+    if mat.n_rows != mat.n_cols:
+        raise ValidationError("transpose_permutation needs a square matrix")
+    if mat.nnz == 0:
+        return np.empty(0, dtype=np.int64)
+    rows = mat.row_of_nonzero()
+    cols = mat.indices
+    n = mat.n_cols
+    keys = rows * n + cols
+    order = np.argsort(keys, kind="stable")  # positions sorted by (row, col)
+    swapped = cols * n + rows  # key of the mirror entry of each position
+    where = np.searchsorted(keys[order], swapped)
+    if where.max(initial=-1) >= len(order) or not np.array_equal(
+        keys[order][where], swapped
+    ):
+        raise ValidationError(
+            "matrix is not structurally symmetric; transpose permutation "
+            "undefined"
+        )
+    return order[where]

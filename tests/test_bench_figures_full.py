@@ -1,0 +1,55 @@
+"""Tiny-scale smoke tests for the figure builders used by the benches.
+
+The real experiments run in ``benchmarks/``; these verify the builders'
+contracts (structure, labels, invariants) quickly so a refactor cannot
+silently break an experiment entry point.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import (
+    fig4_scaling_wiki,
+    fig5_scaling_rameau,
+    fig6_steps_mr,
+    fig7_steps_bp,
+    headline,
+)
+
+TINY = dict(scale=0.002, seed=3, thread_counts=(1, 8))
+
+
+class TestScalingBuilders:
+    def test_fig4_structure(self):
+        result = fig4_scaling_wiki(n_iter=2, **TINY)
+        assert set(result) == {"mr", "bp(batch=1)", "bp(batch=10)",
+                               "bp(batch=20)"}
+        for curves in result.values():
+            assert len(curves) == 4
+            for c in curves:
+                assert len(c.speedups) == 2
+                assert c.baseline > 0
+
+    def test_fig5_structure(self):
+        result = fig5_scaling_rameau(scale=0.001, seed=3, n_iter=2,
+                                     thread_counts=(1, 8))
+        assert set(result) == {"mr", "bp(batch=20)"}
+
+    def test_fig6_steps(self):
+        curves = fig6_steps_mr(n_iter=2, **TINY)
+        assert {"row_match", "daxpy", "match", "objective",
+                "update_u"} <= set(curves)
+        for c in curves.values():
+            assert len(c.times) == 2
+
+    def test_fig7_steps(self):
+        curves = fig7_steps_bp(n_iter=4, **TINY)
+        assert {"compute_f", "compute_d", "othermax", "update_s",
+                "damping", "rounding"} <= set(curves)
+
+    def test_headline_fields(self):
+        h = headline(scale=0.002, seed=3, n_iter_traced=2)
+        assert h["serial_seconds"] > h["threads40_seconds"] > 0
+        assert h["speedup"] == pytest.approx(
+            h["serial_seconds"] / h["threads40_seconds"]
+        )

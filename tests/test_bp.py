@@ -1,0 +1,121 @@
+"""Tests for the belief-propagation method (repro.core.bp)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BPConfig, belief_propagation_align
+from repro.errors import ConfigurationError
+from repro.matching.validate import check_matching
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        BPConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_iter=0),
+            dict(gamma=0.0),
+            dict(gamma=1.5),
+            dict(batch=0),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BPConfig(**kwargs)
+
+
+class TestRun:
+    def test_returns_valid_matching(self, small_instance):
+        res = belief_propagation_align(
+            small_instance.problem, BPConfig(n_iter=10)
+        )
+        check_matching(small_instance.problem.ell, res.matching)
+
+    def test_history_one_record_per_iteration(self, small_instance):
+        res = belief_propagation_align(
+            small_instance.problem, BPConfig(n_iter=12)
+        )
+        assert res.iterations == 12
+        assert [r.iteration for r in res.history] == list(range(1, 13))
+
+    def test_no_upper_bound(self, small_instance):
+        res = belief_propagation_align(
+            small_instance.problem, BPConfig(n_iter=5)
+        )
+        assert res.best_upper_bound == float("inf")
+        assert np.isnan(res.history[0].upper_bound)
+
+    def test_batching_preserves_results(self, small_instance):
+        """§IV-C: batched rounding changes scheduling, not results."""
+        p = small_instance.problem
+        base = belief_propagation_align(p, BPConfig(n_iter=12, batch=1))
+        for batch in (4, 10, 24, 64):
+            other = belief_propagation_align(
+                p, BPConfig(n_iter=12, batch=batch)
+            )
+            assert np.isclose(base.objective, other.objective)
+            assert np.array_equal(
+                base.objective_trace(), other.objective_trace()
+            )
+
+    def test_exact_matcher_variant(self, small_instance):
+        res = belief_propagation_align(
+            small_instance.problem, BPConfig(n_iter=8, matcher="exact")
+        )
+        check_matching(small_instance.problem.ell, res.matching)
+
+    def test_source_labels(self, small_instance):
+        res = belief_propagation_align(
+            small_instance.problem, BPConfig(n_iter=6)
+        )
+        assert all(r.source in ("y", "z") for r in res.history)
+
+    def test_objective_consistent_with_matching(self, small_instance):
+        p = small_instance.problem
+        res = belief_propagation_align(p, BPConfig(n_iter=10))
+        x = res.matching.indicator(p.n_edges_l)
+        assert np.isclose(p.objective(x), res.objective)
+
+    def test_deterministic(self, small_instance):
+        r1 = belief_propagation_align(small_instance.problem, BPConfig(n_iter=6))
+        r2 = belief_propagation_align(small_instance.problem, BPConfig(n_iter=6))
+        assert r1.objective == r2.objective
+
+    def test_damping_converges_messages(self, small_instance):
+        """With γ<1, later iterates change less: the rounded objective
+        stabilizes (γ^k → 0 freezes the messages)."""
+        res = belief_propagation_align(
+            small_instance.problem, BPConfig(n_iter=60, gamma=0.9)
+        )
+        objs = res.objective_trace()
+        assert np.std(objs[-5:]) <= np.std(objs[:10]) + 1e-9
+
+    def test_final_exact_never_hurts(self, small_instance):
+        p = small_instance.problem
+        with_final = belief_propagation_align(
+            p, BPConfig(n_iter=10, final_exact=True)
+        )
+        without = belief_propagation_align(
+            p, BPConfig(n_iter=10, final_exact=False)
+        )
+        assert with_final.objective >= without.objective - 1e-9
+
+    def test_empty_squares_problem(self):
+        from repro.core import NetworkAlignmentProblem
+        from repro.graph import Graph
+        from repro.sparse.bipartite import BipartiteGraph
+
+        a = Graph.from_edges(2, [], [])
+        b = Graph.from_edges(2, [0], [1])
+        ell = BipartiteGraph.from_edges(2, 2, [0, 1], [0, 1], [2.0, 3.0])
+        p = NetworkAlignmentProblem(a, b, ell, 1.0, 2.0)
+        res = belief_propagation_align(p, BPConfig(n_iter=5))
+        assert np.isclose(res.objective, 5.0)
+
+    def test_quality_beats_blind_matching_weight(self, medium_instance):
+        """BP should find overlap beyond what pure matching weight gives."""
+        p = medium_instance.problem
+        res = belief_propagation_align(p, BPConfig(n_iter=40))
+        assert res.overlap_part > 0

@@ -1,0 +1,111 @@
+"""Tests for the command-line harness (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for cmd in ("table2", "fig2", "fig3", "fig4", "fig5", "fig6",
+                    "fig7", "headline", "solve"):
+            args = parser.parse_args(
+                [cmd] + (["dir"] if cmd == "solve" else [])
+            )
+            assert args.command == cmd
+
+    def test_fig2_degree_list(self):
+        args = build_parser().parse_args(["fig2", "--degrees", "3", "7"])
+        assert args.degrees == [3.0, 7.0]
+
+
+class TestCommands:
+    def test_table2(self, capsys):
+        main(["table2", "--bio-scale", "0.05", "--scale", "0.003",
+              "--rameau-scale", "0.0015", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "dmela-scere" in out
+
+    def test_fig2_tiny(self, capsys):
+        main(["fig2", "--degrees", "3", "--iters", "4", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "bp-approx" in out
+
+    def test_solve_roundtrip(self, tmp_path, capsys):
+        from repro.generators.io import save_alignment_problem
+        from repro.generators.synthetic import powerlaw_alignment_instance
+
+        inst = powerlaw_alignment_instance(n=25, expected_degree=3, seed=0)
+        directory = str(tmp_path / "prob")
+        save_alignment_problem(directory, inst.problem)
+        out_file = str(tmp_path / "matching.txt")
+        main(["solve", directory, "--method", "bp", "--iters", "4",
+              "--output", out_file])
+        out = capsys.readouterr().out
+        assert "objective=" in out
+        pairs = np.loadtxt(out_file, dtype=int, ndmin=2)
+        assert pairs.shape[1] == 2
+
+    def test_solve_mr(self, tmp_path, capsys):
+        from repro.generators.io import save_alignment_problem
+        from repro.generators.synthetic import powerlaw_alignment_instance
+
+        inst = powerlaw_alignment_instance(n=20, expected_degree=3, seed=1)
+        directory = str(tmp_path / "prob")
+        save_alignment_problem(directory, inst.problem)
+        main(["solve", directory, "--method", "mr", "--iters", "3",
+              "--matcher", "exact"])
+        assert "klau-mr" in capsys.readouterr().out
+
+    def test_generate_then_solve_with_report(self, tmp_path, capsys):
+        directory = str(tmp_path / "gen")
+        ref_file = str(tmp_path / "ref.txt")
+        main(["generate", "synthetic", directory, "--n", "30",
+              "--degree", "3", "--seed", "4", "--reference", ref_file])
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        ref = np.loadtxt(ref_file, dtype=int, ndmin=2)
+        assert ref.shape == (30, 2)
+        main(["solve", directory, "--iters", "5", "--report"])
+        out = capsys.readouterr().out
+        assert "edge correctness" in out
+
+    def test_generate_named_family(self, tmp_path, capsys):
+        directory = str(tmp_path / "bio")
+        main(["generate", "dmela-scere", directory, "--scale", "0.02",
+              "--seed", "1"])
+        out = capsys.readouterr().out
+        assert "dmela-scere" in out
+
+    def test_capture_and_simulate(self, tmp_path, capsys):
+        directory = str(tmp_path / "prob")
+        main(["generate", "synthetic", directory, "--n", "40",
+              "--degree", "3", "--seed", "8"])
+        capsys.readouterr()
+        traces = str(tmp_path / "traces.json")
+        main(["capture", directory, traces, "--method", "bp",
+              "--iters", "3", "--batch", "4"])
+        out = capsys.readouterr().out
+        assert "captured 3 iteration traces" in out
+        main(["simulate", traces, "--threads", "1", "10", "40"])
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "p=" not in out  # table uses a threads column
+
+    def test_solve_suitor_matcher(self, tmp_path, capsys):
+        from repro.generators.io import save_alignment_problem
+        from repro.generators.synthetic import powerlaw_alignment_instance
+
+        inst = powerlaw_alignment_instance(n=20, expected_degree=3, seed=2)
+        directory = str(tmp_path / "prob")
+        save_alignment_problem(directory, inst.problem)
+        main(["solve", directory, "--iters", "3", "--matcher", "suitor"])
+        assert "objective=" in capsys.readouterr().out

@@ -1,0 +1,74 @@
+"""Tests for alignment comparison (repro.analysis.comparison)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compare_alignments
+from repro.errors import DimensionError
+
+
+class TestCompareAlignments:
+    def test_identical(self):
+        mate = np.array([0, 1, -1, 3])
+        cmp = compare_alignments(mate, mate)
+        assert cmp.agreement == 1.0
+        assert cmp.jaccard == 1.0
+        assert cmp.disagreements == ()
+        assert cmp.only_first == 0 and cmp.only_second == 0
+
+    def test_disjoint(self):
+        cmp = compare_alignments(np.array([0, -1]), np.array([-1, 0]))
+        assert cmp.both_matched == 0
+        assert cmp.jaccard == 0.0
+        assert cmp.only_first == 1 and cmp.only_second == 1
+
+    def test_partial_disagreement(self):
+        first = np.array([0, 1, 2])
+        second = np.array([0, 2, 1])
+        cmp = compare_alignments(first, second)
+        assert cmp.both_matched == 3
+        assert cmp.agreement == pytest.approx(1 / 3)
+        assert len(cmp.disagreements) == 2
+        assert cmp.disagreements[0] == (1, 1, 2)
+
+    def test_jaccard_formula(self):
+        first = np.array([0, 1, -1])
+        second = np.array([0, -1, 2])
+        # pairs: first {(0,0),(1,1)}, second {(0,0),(2,2)}; |∩|=1, |∪|=3
+        cmp = compare_alignments(first, second)
+        assert cmp.jaccard == pytest.approx(1 / 3)
+
+    def test_all_unmatched(self):
+        empty = np.array([-1, -1])
+        cmp = compare_alignments(empty, empty)
+        assert cmp.agreement == 1.0 and cmp.jaccard == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(DimensionError):
+            compare_alignments(np.array([0]), np.array([0, 1]))
+
+    def test_as_text(self):
+        cmp = compare_alignments(np.array([0]), np.array([0]))
+        assert "agreement" in cmp.as_text()
+
+    def test_symmetry_of_counts(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(-1, 5, 20)
+        b = rng.integers(-1, 5, 20)
+        ab = compare_alignments(a, b)
+        ba = compare_alignments(b, a)
+        assert ab.jaccard == ba.jaccard
+        assert ab.agreement == ba.agreement
+        assert ab.only_first == ba.only_second
+
+    def test_on_real_solutions(self, small_instance):
+        """BP exact vs approx rounding: nearly identical solutions (§VII)."""
+        from repro.core import BPConfig, belief_propagation_align
+
+        p = small_instance.problem
+        exact = belief_propagation_align(p, BPConfig(n_iter=20, matcher="exact"))
+        approx = belief_propagation_align(p, BPConfig(n_iter=20, matcher="approx"))
+        cmp = compare_alignments(
+            exact.matching.mate_a, approx.matching.mate_a
+        )
+        assert cmp.jaccard > 0.8

@@ -1,0 +1,156 @@
+"""Unit tests for repro.sparse.csr."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError, ValidationError
+from repro.sparse.csr import CSRMatrix
+
+
+def tiny() -> CSRMatrix:
+    # [[1, 0, 2],
+    #  [0, 0, 0],
+    #  [0, 3, 0]]
+    return CSRMatrix(
+        (3, 3),
+        indptr=[0, 2, 2, 3],
+        indices=[0, 2, 1],
+        data=[1.0, 2.0, 3.0],
+    )
+
+
+class TestConstruction:
+    def test_basic_shape_and_nnz(self):
+        m = tiny()
+        assert m.shape == (3, 3)
+        assert m.n_rows == 3
+        assert m.n_cols == 3
+        assert m.nnz == 3
+
+    def test_arrays_coerced_to_canonical_dtypes(self):
+        m = tiny()
+        assert m.indptr.dtype == np.int64
+        assert m.indices.dtype == np.int64
+        assert m.data.dtype == np.float64
+
+    def test_empty_matrix(self):
+        m = CSRMatrix((0, 0), [0], [], [])
+        assert m.nnz == 0
+        assert m.to_dense().shape == (0, 0)
+
+    def test_empty_rows_allowed(self):
+        m = CSRMatrix((2, 2), [0, 0, 0], [], [])
+        assert m.nnz == 0
+        assert np.array_equal(m.row_lengths(), [0, 0])
+
+    def test_bad_indptr_length(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix((3, 3), [0, 1], [0], [1.0])
+
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix((1, 3), [1, 2], [0], [1.0])
+
+    def test_indptr_must_be_nondecreasing(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix((2, 3), [0, 2, 1], [0, 1], [1.0, 2.0])
+
+    def test_column_out_of_range(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix((1, 2), [0, 1], [5], [1.0])
+
+    def test_negative_column(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix((1, 2), [0, 1], [-1], [1.0])
+
+    def test_unsorted_within_row_rejected(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix((1, 3), [0, 2], [2, 0], [1.0, 2.0])
+
+    def test_sorted_across_row_boundary_ok(self):
+        # Decrease at a row boundary is legal.
+        m = CSRMatrix((2, 3), [0, 1, 2], [2, 0], [1.0, 2.0])
+        assert m.nnz == 2
+
+    def test_data_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix((1, 3), [0, 2], [0, 1], [1.0])
+
+    def test_negative_shape(self):
+        with pytest.raises(DimensionError):
+            CSRMatrix((-1, 3), [0], [], [])
+
+
+class TestAccessors:
+    def test_row(self):
+        m = tiny()
+        cols, vals = m.row(0)
+        assert np.array_equal(cols, [0, 2])
+        assert np.array_equal(vals, [1.0, 2.0])
+
+    def test_empty_row(self):
+        cols, vals = tiny().row(1)
+        assert len(cols) == 0 and len(vals) == 0
+
+    def test_row_lengths(self):
+        assert np.array_equal(tiny().row_lengths(), [2, 0, 1])
+
+    def test_row_of_nonzero(self):
+        assert np.array_equal(tiny().row_of_nonzero(), [0, 0, 2])
+
+    def test_to_dense(self):
+        dense = tiny().to_dense()
+        expected = np.array([[1, 0, 2], [0, 0, 0], [0, 3, 0]], dtype=float)
+        assert np.array_equal(dense, expected)
+
+    def test_nonzero_coords(self):
+        rows, cols = tiny().nonzero_coords()
+        assert np.array_equal(rows, [0, 0, 2])
+        assert np.array_equal(cols, [0, 2, 1])
+
+
+class TestValueHelpers:
+    def test_copy_is_deep_for_data(self):
+        m = tiny()
+        c = m.copy()
+        c.data[0] = 99.0
+        assert m.data[0] == 1.0
+
+    def test_copy_shares_structure(self):
+        m = tiny()
+        c = m.copy()
+        assert c.indptr is m.indptr
+        assert c.indices is m.indices
+
+    def test_with_values(self):
+        m = tiny()
+        c = m.with_values([7.0, 8.0, 9.0])
+        assert np.array_equal(c.data, [7.0, 8.0, 9.0])
+        assert np.array_equal(m.data, [1.0, 2.0, 3.0])
+
+    def test_with_values_wrong_length(self):
+        with pytest.raises(DimensionError):
+            tiny().with_values([1.0])
+
+    def test_same_structure(self):
+        m = tiny()
+        assert m.same_structure(m.copy())
+        other = CSRMatrix((3, 3), [0, 1, 2, 3], [0, 1, 2], [1, 1, 1])
+        assert not m.same_structure(other)
+
+
+class TestTriangularMasks:
+    def test_upper_mask(self):
+        m = tiny()
+        # nonzeros: (0,0) diag, (0,2) upper, (2,1) lower
+        assert np.array_equal(m.upper_mask(), [False, True, False])
+
+    def test_lower_mask(self):
+        m = tiny()
+        assert np.array_equal(m.lower_mask(), [False, False, True])
+
+    def test_masks_disjoint_and_exclude_diagonal(self):
+        m = tiny()
+        assert not np.any(m.upper_mask() & m.lower_mask())
+        diag = m.row_of_nonzero() == m.indices
+        assert not np.any(diag & (m.upper_mask() | m.lower_mask()))

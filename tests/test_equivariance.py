@@ -1,0 +1,135 @@
+"""Metamorphic tests: alignment methods are label-equivariant.
+
+Nothing in the mathematics of BP, MR, IsoRank, or the matchers depends on
+vertex names — relabeling B's vertices (and L's columns accordingly) must
+yield the relabeled solution with the *same objective value*.  These
+tests catch any accidental dependence on array order beyond documented
+tie-breaking (weights are continuous, so ties have probability zero).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BPConfig,
+    KlauConfig,
+    NetworkAlignmentProblem,
+    belief_propagation_align,
+    isorank_align,
+    klau_align,
+)
+from repro.generators.perturb import relabel
+from repro.graph import Graph
+from repro.matching import max_weight_matching
+from repro.sparse.bipartite import BipartiteGraph
+
+from tests.helpers import random_bipartite
+
+
+def _random_problem(rng):
+    n_a, n_b = int(rng.integers(4, 10)), int(rng.integers(4, 10))
+
+    def rand_graph(n):
+        m = int(rng.integers(n, 3 * n))
+        return Graph.from_edges(
+            n, rng.integers(0, n, m), rng.integers(0, n, m)
+        )
+
+    m = int(rng.integers(n_a, 3 * n_a))
+    ell = BipartiteGraph.from_edges(
+        n_a, n_b, rng.integers(0, n_a, m), rng.integers(0, n_b, m),
+        rng.random(m) + 0.1,
+    )
+    return NetworkAlignmentProblem(
+        rand_graph(n_a), rand_graph(n_b), ell, alpha=1.0, beta=2.0
+    )
+
+
+def _relabel_b(problem, perm):
+    """Permute B's vertex ids throughout the problem."""
+    b2 = relabel(problem.b_graph, perm)
+    ell = problem.ell
+    ell2 = BipartiteGraph.from_edges(
+        ell.n_a, ell.n_b, ell.edge_a, perm[ell.edge_b], ell.weights
+    )
+    return NetworkAlignmentProblem(
+        problem.a_graph, b2, ell2, problem.alpha, problem.beta
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10**6))
+def test_exact_matching_weight_equivariant(seed):
+    rng = np.random.default_rng(seed)
+    g = random_bipartite(rng, allow_negative=False)
+    perm = np.random.default_rng(seed + 1).permutation(g.n_b)
+    g2 = BipartiteGraph.from_edges(
+        g.n_a, g.n_b, g.edge_a, perm[g.edge_b], g.weights
+    )
+    w1 = max_weight_matching(g, dense_cutoff=0).weight
+    w2 = max_weight_matching(g2, dense_cutoff=0).weight
+    assert w1 == pytest.approx(w2)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10**6))
+def test_bp_objective_equivariant(seed):
+    rng = np.random.default_rng(seed)
+    p = _random_problem(rng)
+    perm = np.random.default_rng(seed + 1).permutation(p.ell.n_b)
+    q = _relabel_b(p, perm)
+    r1 = belief_propagation_align(p, BPConfig(n_iter=10, matcher="exact"))
+    r2 = belief_propagation_align(q, BPConfig(n_iter=10, matcher="exact"))
+    assert r1.objective == pytest.approx(r2.objective)
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(0, 10**6))
+def test_mr_bounds_equivariant(seed):
+    """MR's trajectory is *not* label-invariant (the first row-match sees
+    all-equal β/2 weights, so ties resolve by order), but relabeling
+    preserves the optimum exactly — so every run's lower bound must stay
+    below every run's upper bound, whatever the labels."""
+    rng = np.random.default_rng(seed)
+    p = _random_problem(rng)
+    perm = np.random.default_rng(seed + 1).permutation(p.ell.n_b)
+    q = _relabel_b(p, perm)
+    r1 = klau_align(p, KlauConfig(n_iter=10))
+    r2 = klau_align(q, KlauConfig(n_iter=10))
+    assert max(r1.objective, r2.objective) <= (
+        min(r1.best_upper_bound, r2.best_upper_bound) + 1e-9
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10**6))
+def test_isorank_objective_equivariant(seed):
+    rng = np.random.default_rng(seed)
+    p = _random_problem(rng)
+    perm = np.random.default_rng(seed + 1).permutation(p.ell.n_b)
+    q = _relabel_b(p, perm)
+    r1 = isorank_align(p)
+    r2 = isorank_align(q)
+    assert r1.objective == pytest.approx(r2.objective)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10**6))
+def test_solution_mates_map_through_permutation(seed):
+    """Stronger: the BP solution itself maps through the relabeling
+    (distinct weights make the solution unique in practice)."""
+    rng = np.random.default_rng(seed)
+    p = _random_problem(rng)
+    perm = np.random.default_rng(seed + 1).permutation(p.ell.n_b)
+    q = _relabel_b(p, perm)
+    r1 = belief_propagation_align(p, BPConfig(n_iter=8, matcher="exact"))
+    r2 = belief_propagation_align(q, BPConfig(n_iter=8, matcher="exact"))
+    mapped = np.where(
+        r1.matching.mate_a >= 0, perm[r1.matching.mate_a], -1
+    )
+    if not np.array_equal(mapped, r2.matching.mate_a):
+        # Distinct solutions are acceptable only at equal objective
+        # (degenerate optima); require the objective to match exactly.
+        assert r1.objective == pytest.approx(r2.objective)

@@ -1,0 +1,43 @@
+"""Smoke tests: the example scripts must stay runnable.
+
+Only the fast examples run here (the scaling studies are exercised via
+their underlying builders in other tests); each runs in a subprocess
+exactly as a user would invoke it.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "identity-alignment objective" in out
+        assert "BP  :" in out and "MR  :" in out
+
+    def test_bioinformatics(self):
+        out = run_example("bioinformatics_alignment.py",
+                          "--scale", "0.05", "--iters", "8")
+        assert "bp (approx rounding)" in out
+        assert "mr (exact rounding)" in out
+
+    def test_custom_machine(self):
+        out = run_example("custom_machine.py")
+        assert "e7-8870 (the paper's)" in out
+        assert "single socket, 10 cores" in out

@@ -1,0 +1,182 @@
+"""Tests for the problem generators (powerlaw, perturb, synthetic)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.generators.perturb import (
+    _pair_from_key,
+    add_random_edges,
+    drop_random_edges,
+    relabel,
+)
+from repro.generators.powerlaw import (
+    configuration_model,
+    powerlaw_graph,
+    preferential_attachment_tree,
+    sample_powerlaw_degrees,
+)
+from repro.generators.synthetic import powerlaw_alignment_instance
+from repro.graph import Graph
+
+
+class TestPowerlawDegrees:
+    def test_bounds(self):
+        d = sample_powerlaw_degrees(500, 2.5, d_min=2, d_max=20, seed=0)
+        assert d.min() >= 2 and d.max() <= 20
+
+    def test_even_sum(self):
+        for seed in range(10):
+            d = sample_powerlaw_degrees(101, 2.5, seed=seed)
+            assert d.sum() % 2 == 0
+
+    def test_heavy_tail_shape(self):
+        d = sample_powerlaw_degrees(20_000, 2.0, d_min=1, d_max=100, seed=1)
+        # Power law: degree-1 vertices dominate degree-10 vertices.
+        assert (d == 1).sum() > (d == 10).sum() * 5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sample_powerlaw_degrees(10, exponent=0.5)
+        with pytest.raises(ConfigurationError):
+            sample_powerlaw_degrees(10, d_min=0)
+        with pytest.raises(ConfigurationError):
+            sample_powerlaw_degrees(-1)
+
+
+class TestConfigurationModel:
+    def test_respects_degree_upper_bound(self):
+        degrees = np.array([3, 2, 2, 1])
+        g = configuration_model(degrees, seed=0)
+        assert np.all(g.degrees() <= degrees)
+
+    def test_odd_sum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            configuration_model(np.array([1, 1, 1]))
+
+    def test_powerlaw_graph_simple(self):
+        g = powerlaw_graph(200, seed=3)
+        # Simple graph: no self-loops by construction; adjacency strict.
+        for v in range(g.n):
+            assert v not in g.neighbors(v).tolist()
+
+
+class TestTree:
+    def test_tree_edge_count(self):
+        for n in (1, 2, 10, 333):
+            t = preferential_attachment_tree(n, seed=1)
+            assert t.m == n - 1 if n > 1 else t.m == 0
+
+    def test_tree_connected(self):
+        t = preferential_attachment_tree(200, seed=2)
+        seen = {0}
+        stack = [0]
+        while stack:
+            v = stack.pop()
+            for w in t.neighbors(v).tolist():
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        assert len(seen) == 200
+
+    def test_hub_formation(self):
+        t = preferential_attachment_tree(2000, seed=3)
+        assert t.degrees().max() > 10  # preferential attachment makes hubs
+
+
+class TestPerturb:
+    def test_add_superset(self, rng):
+        g = powerlaw_graph(50, seed=rng)
+        g2 = add_random_edges(g, 0.1, seed=rng)
+        assert g.edge_set() <= g2.edge_set()
+
+    def test_add_p_zero(self, rng):
+        g = powerlaw_graph(30, seed=rng)
+        assert add_random_edges(g, 0.0, seed=rng).m == g.m
+
+    def test_add_p_one_gives_complete(self):
+        g = Graph.from_edges(6, [], [])
+        g2 = add_random_edges(g, 1.0, seed=0)
+        assert g2.m == 15
+
+    def test_add_invalid_p(self, rng):
+        g = powerlaw_graph(10, seed=rng)
+        with pytest.raises(ConfigurationError):
+            add_random_edges(g, 1.5)
+
+    def test_drop(self, rng):
+        g = powerlaw_graph(50, seed=rng)
+        g2 = drop_random_edges(g, 0.5, seed=rng)
+        assert g2.edge_set() <= g.edge_set()
+        assert drop_random_edges(g, 1.0, seed=rng).m == 0
+        assert drop_random_edges(g, 0.0, seed=rng).m == g.m
+
+    def test_relabel_preserves_structure(self, rng):
+        g = powerlaw_graph(20, seed=rng)
+        perm = np.random.default_rng(0).permutation(20)
+        g2 = relabel(g, perm)
+        assert g2.m == g.m
+        assert g2.degrees().sum() == g.degrees().sum()
+        # degree multiset preserved
+        assert sorted(g2.degrees().tolist()) == sorted(g.degrees().tolist())
+
+    def test_relabel_requires_permutation(self, rng):
+        g = powerlaw_graph(5, seed=rng)
+        with pytest.raises(ConfigurationError):
+            relabel(g, np.zeros(5, dtype=int))
+
+    @settings(max_examples=60, deadline=None)
+    @given(n=st.integers(2, 2000), seed=st.integers(0, 10**6))
+    def test_pair_key_inversion(self, n, seed):
+        """Property: triangular pair indexing inverts correctly."""
+        rng = np.random.default_rng(seed)
+        total = n * (n - 1) // 2
+        keys = rng.integers(0, total, size=min(50, total))
+        u, v = _pair_from_key(keys, n)
+        assert np.all(u < v)
+        assert np.all(v < n) and np.all(u >= 0)
+        rebuilt = u * n - u * (u + 1) // 2 + (v - u - 1)
+        assert np.array_equal(rebuilt, keys)
+
+
+class TestSyntheticInstance:
+    def test_shapes(self):
+        inst = powerlaw_alignment_instance(n=100, expected_degree=5, seed=0)
+        p = inst.problem
+        assert p.a_graph.n == 100 and p.b_graph.n == 100
+        assert p.ell.n_a == 100 and p.ell.n_b == 100
+
+    def test_identity_edges_present(self):
+        inst = powerlaw_alignment_instance(n=50, expected_degree=3, seed=1)
+        ids = np.arange(50)
+        eids = inst.problem.ell.lookup_edges(ids, ids)
+        assert np.all(eids >= 0)
+
+    def test_expected_degree_controls_l_size(self):
+        small = powerlaw_alignment_instance(n=100, expected_degree=2, seed=2)
+        large = powerlaw_alignment_instance(n=100, expected_degree=15, seed=2)
+        assert large.problem.n_edges_l > small.problem.n_edges_l
+
+    def test_reference_objective_positive(self):
+        inst = powerlaw_alignment_instance(n=80, expected_degree=4, seed=3)
+        ref = inst.reference_objective()
+        # weight part alone is n (identity edges, unit weights).
+        assert ref >= 80
+
+    def test_fraction_correct(self):
+        inst = powerlaw_alignment_instance(n=30, expected_degree=2, seed=4)
+        perfect = inst.true_mate_a.copy()
+        assert inst.fraction_correct(perfect) == 1.0
+        assert inst.fraction_correct(np.full(30, -1)) == 0.0
+
+    def test_invalid_degree(self):
+        with pytest.raises(ConfigurationError):
+            powerlaw_alignment_instance(n=10, expected_degree=100)
+
+    def test_deterministic_by_seed(self):
+        a = powerlaw_alignment_instance(n=40, expected_degree=3, seed=9)
+        b = powerlaw_alignment_instance(n=40, expected_degree=3, seed=9)
+        assert np.array_equal(a.problem.ell.edge_a, b.problem.ell.edge_a)
+        assert a.problem.a_graph.edge_set() == b.problem.a_graph.edge_set()

@@ -1,0 +1,106 @@
+"""Tests for the bio and ontology instance families (Table II stand-ins)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.generators import (
+    bio_instance,
+    dmela_scere,
+    homo_musm,
+    lcsh_rameau,
+    lcsh_wiki,
+    ontology_instance,
+)
+
+
+class TestBioFamily:
+    def test_custom_sizes(self):
+        inst = bio_instance(
+            n_a=300, n_b=200, m_l_target=900, squares_target=300, seed=0
+        )
+        st = inst.problem.stats()
+        assert st.n_a == 300 and st.n_b == 200
+        assert abs(st.n_edges_l - 900) <= 90
+        assert st.nnz_s >= 150  # at least half the target materializes
+
+    def test_true_mate_maps_into_b(self):
+        inst = bio_instance(
+            n_a=120, n_b=80, m_l_target=400, squares_target=100, seed=1
+        )
+        sigma = inst.true_mate_a
+        mapped = sigma[sigma >= 0]
+        assert len(mapped) == 80  # core size = min(n_a, n_b)
+        assert len(np.unique(mapped)) == len(mapped)  # injective
+
+    def test_ortholog_edges_in_l(self):
+        inst = bio_instance(
+            n_a=100, n_b=60, m_l_target=300, squares_target=80, seed=2
+        )
+        known = np.flatnonzero(inst.true_mate_a >= 0)
+        eids = inst.problem.ell.lookup_edges(
+            known, inst.true_mate_a[known]
+        )
+        assert np.all(eids >= 0)
+
+    def test_weights_in_unit_range(self):
+        inst = bio_instance(
+            n_a=100, n_b=60, m_l_target=300, squares_target=80, seed=3
+        )
+        w = inst.problem.weights
+        assert w.min() >= 0.0 and w.max() <= 1.0
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bio_instance(n_a=2, n_b=2, m_l_target=4, squares_target=2)
+
+    @pytest.mark.parametrize("builder,el,s", [
+        (dmela_scere, 34582, 6860),
+        (homo_musm, 15810, 12180),
+    ])
+    def test_table2_rows_at_scale(self, builder, el, s):
+        inst = builder(scale=0.25, seed=4)
+        st = inst.problem.stats()
+        assert abs(st.n_edges_l - el * 0.25) / (el * 0.25) < 0.15
+        assert abs(st.nnz_s - s * 0.25) / (s * 0.25) < 0.5
+
+
+class TestOntologyFamily:
+    def test_custom_sizes(self):
+        inst = ontology_instance(
+            n_a=400, n_b=300, m_l_target=3000, squares_target=900, seed=0
+        )
+        st = inst.problem.stats()
+        assert st.n_a == 400 and st.n_b == 300
+        assert abs(st.n_edges_l - 3000) <= 300
+        # Secant calibration should land within ~35%.
+        assert abs(st.nnz_s - 900) / 900 < 0.5
+
+    def test_shared_concepts_identity(self):
+        inst = ontology_instance(
+            n_a=100, n_b=60, m_l_target=500, squares_target=150, seed=1
+        )
+        sigma = inst.true_mate_a
+        known = np.flatnonzero(sigma >= 0)
+        assert np.array_equal(sigma[known], known)  # identity on the core
+
+    def test_label_coverage_validation(self):
+        with pytest.raises(ConfigurationError):
+            ontology_instance(
+                n_a=50, n_b=50, m_l_target=100, squares_target=20,
+                label_coverage=0.0,
+            )
+
+    def test_wiki_and_rameau_builders(self):
+        wiki = lcsh_wiki(scale=0.004, seed=2)
+        assert wiki.problem.stats().n_a == int(297266 * 0.004)
+        ram = lcsh_rameau(scale=0.002, seed=2)
+        assert ram.problem.stats().n_a == int(154974 * 0.002)
+
+    def test_reference_indicator_usable(self):
+        inst = ontology_instance(
+            n_a=80, n_b=60, m_l_target=300, squares_target=80, seed=3
+        )
+        x = inst.reference_indicator()
+        assert x.sum() > 0
+        assert inst.problem.objective(x) > 0

@@ -1,0 +1,169 @@
+"""Integration tests: full pipelines reproducing the paper's claims
+at reduced scale.
+
+Quality claims (§VII) run the real algorithms; scaling claims (§VIII)
+run the trace-capture → machine-model pipeline and assert the *shapes*
+the paper reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import (
+    average_timing,
+    capture_traces,
+    fig2_quality,
+    scaling_table,
+)
+from repro.core import (
+    BPConfig,
+    KlauConfig,
+    belief_propagation_align,
+    klau_align,
+)
+from repro.generators import powerlaw_alignment_instance
+from repro.machine import SimulatedRuntime, xeon_e7_8870
+
+
+@pytest.fixture(scope="module")
+def quality_instance():
+    return powerlaw_alignment_instance(n=120, expected_degree=5.0, seed=21)
+
+
+class TestQualityClaims:
+    def test_bp_exact_vs_approx_indistinguishable(self, quality_instance):
+        """§VII: 'BP results with and without approximate matching are
+        virtually indistinguishable'."""
+        p = quality_instance.problem
+        exact = belief_propagation_align(p, BPConfig(n_iter=40, matcher="exact"))
+        approx = belief_propagation_align(p, BPConfig(n_iter=40, matcher="approx"))
+        assert abs(exact.objective - approx.objective) <= 0.05 * abs(
+            exact.objective
+        )
+
+    def test_exact_methods_recover_planted_alignment(self, quality_instance):
+        """Fig 2: exact-rounding methods recover the identity."""
+        p = quality_instance.problem
+        bp = belief_propagation_align(p, BPConfig(n_iter=40, matcher="exact"))
+        assert quality_instance.fraction_correct(bp.matching.mate_a) > 0.9
+
+    def test_mr_reaches_reference_objective(self, quality_instance):
+        p = quality_instance.problem
+        mr = klau_align(p, KlauConfig(n_iter=60, matcher="exact"))
+        ref = quality_instance.reference_objective()
+        assert mr.objective >= 0.9 * ref
+
+    def test_fig2_shape_bp_insensitive_mr_sensitive(self):
+        """The Fig-2 ordering: BP(exact) ≈ BP(approx) ≥ MR(approx)."""
+        points = fig2_quality(
+            degrees=(6,), n=100, n_iter_mr=30, n_iter_bp=30, seed=13
+        )
+        by = {p.method: p for p in points}
+        bp_gap = abs(
+            by["bp-exact"].objective_fraction
+            - by["bp-approx"].objective_fraction
+        )
+        assert bp_gap < 0.05
+        assert (
+            by["mr-exact"].objective_fraction
+            >= by["mr-approx"].objective_fraction - 0.02
+        )
+
+
+class TestScalingClaims:
+    @pytest.fixture(scope="class")
+    def wiki_like_traces(self):
+        """A moderately sized instance standing in for lcsh-wiki, with
+        traces extrapolated to full size."""
+        from repro.generators import ontology_instance
+
+        inst = ontology_instance(
+            n_a=1500, n_b=1100, m_l_target=25_000, squares_target=9_000,
+            seed=31,
+        )
+        return capture_traces(
+            inst.problem, "bp", batch=20, n_iter=6,
+            full_size_edges=4_971_629,
+        )
+
+    def test_interleave_beats_bound_at_40(self, wiki_like_traces):
+        """§VIII-B: 'the best scalability arises from using interleaved
+        memory'."""
+        curves = {
+            c.label: c
+            for c in scaling_table(
+                wiki_like_traces, thread_counts=(1, 10, 40)
+            )
+        }
+        b = curves["bound/scatter"].speedups[-1]
+        i = curves["interleave/scatter"].speedups[-1]
+        assert i > b
+
+    def test_speedup_band_at_40_threads(self, wiki_like_traces):
+        """Paper: ~15-fold at 40 threads (we accept a generous band)."""
+        curves = scaling_table(
+            wiki_like_traces,
+            thread_counts=(1, 40),
+            layouts=(("interleave", "scatter"),),
+        )
+        s40 = curves[0].speedups[-1]
+        assert 8.0 <= s40 <= 30.0
+
+    def test_saturation_beyond_40(self, wiki_like_traces):
+        """Paper: no meaningful speedup past 40–80 threads."""
+        curves = scaling_table(
+            wiki_like_traces,
+            thread_counts=(40, 80),
+            layouts=(("interleave", "scatter"),),
+        )
+        t40, t80 = curves[0].times
+        assert t80 >= t40 * 0.65  # at most ~1.5x more from doubling
+
+    def test_bound_saturates_at_one_socket(self, wiki_like_traces):
+        curves = scaling_table(
+            wiki_like_traces,
+            thread_counts=(10, 40),
+            layouts=(("bound", "scatter"),),
+        )
+        t10, t40 = curves[0].times
+        assert t40 >= t10 * 0.55  # little gain from 3 more sockets
+
+    def test_small_problem_stops_scaling_early(self):
+        """§VIII-B: the cache-resident bioinformatics problems do not
+        scale beyond one socket."""
+        inst = powerlaw_alignment_instance(n=100, expected_degree=4, seed=41)
+        traces = capture_traces(inst.problem, "bp", batch=1, n_iter=4)
+        topo = xeon_e7_8870()
+        t10 = average_timing(
+            SimulatedRuntime(topo, 10, "interleave", "scatter"), traces
+        ).total
+        t80 = average_timing(
+            SimulatedRuntime(topo, 80, "interleave", "scatter"), traces
+        ).total
+        assert t80 > 0.3 * t10  # nothing like 8x from 8 sockets
+
+
+class TestEndToEndSolve:
+    def test_all_methods_agree_on_easy_instance(self):
+        inst = powerlaw_alignment_instance(n=60, expected_degree=3, seed=51)
+        p = inst.problem
+        results = [
+            belief_propagation_align(p, BPConfig(n_iter=30, matcher=m))
+            for m in ("exact", "approx")
+        ] + [
+            klau_align(p, KlauConfig(n_iter=30, matcher=m))
+            for m in ("exact", "approx")
+        ]
+        objs = [r.objective for r in results]
+        assert max(objs) - min(objs) <= 0.1 * max(objs)
+
+    def test_alpha_beta_tradeoff_direction(self):
+        """Raising β (overlap emphasis) never lowers realized overlap."""
+        inst = powerlaw_alignment_instance(n=100, expected_degree=6, seed=61)
+        low = belief_propagation_align(
+            inst.problem.with_objective(1.0, 0.1), BPConfig(n_iter=30)
+        )
+        high = belief_propagation_align(
+            inst.problem.with_objective(1.0, 4.0), BPConfig(n_iter=30)
+        )
+        assert high.overlap_part >= low.overlap_part - 1e-9

@@ -1,0 +1,104 @@
+"""Round-trip tests for the SMAT I/O (repro.generators.io)."""
+
+import io as _io
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.generators.io import (
+    load_alignment_problem,
+    read_bipartite,
+    read_graph,
+    read_smat,
+    save_alignment_problem,
+    write_bipartite,
+    write_graph,
+    write_smat,
+)
+from repro.generators.synthetic import powerlaw_alignment_instance
+from repro.graph import Graph
+from repro.sparse.bipartite import BipartiteGraph
+
+
+class TestSmatFormat:
+    def test_roundtrip(self):
+        buf = _io.StringIO()
+        write_smat(buf, 3, 4, np.array([0, 2]), np.array([1, 3]),
+                   np.array([0.5, -2.0]))
+        buf.seek(0)
+        n_rows, n_cols, rows, cols, vals = read_smat(buf)
+        assert (n_rows, n_cols) == (3, 4)
+        assert np.array_equal(rows, [0, 2])
+        assert np.array_equal(cols, [1, 3])
+        assert np.array_equal(vals, [0.5, -2.0])
+
+    def test_bad_header(self):
+        with pytest.raises(ValidationError):
+            read_smat(_io.StringIO("1 2\n"))
+
+    def test_truncated_body(self):
+        with pytest.raises(ValidationError):
+            read_smat(_io.StringIO("1 1 2\n0 0 1.0\n"))
+
+    def test_precision_preserved(self):
+        buf = _io.StringIO()
+        v = np.array([1.0 / 3.0])
+        write_smat(buf, 1, 1, np.array([0]), np.array([0]), v)
+        buf.seek(0)
+        *_, vals = read_smat(buf)
+        assert vals[0] == v[0]
+
+
+class TestGraphFiles:
+    def test_graph_roundtrip(self, tmp_path, rng):
+        from repro.generators.powerlaw import powerlaw_graph
+
+        g = powerlaw_graph(40, seed=rng)
+        path = str(tmp_path / "g.smat")
+        write_graph(path, g)
+        g2 = read_graph(path)
+        assert g2.edge_set() == g.edge_set()
+
+    def test_graph_must_be_square(self, tmp_path):
+        path = str(tmp_path / "bad.smat")
+        with open(path, "w") as fh:
+            fh.write("2 3 0\n")
+        with pytest.raises(ValidationError):
+            read_graph(path)
+
+    def test_bipartite_roundtrip(self, tmp_path):
+        g = BipartiteGraph.from_edges(
+            3, 4, [0, 1, 2], [3, 0, 2], [0.25, 1.5, 2.0]
+        )
+        path = str(tmp_path / "L.smat")
+        write_bipartite(path, g)
+        g2 = read_bipartite(path)
+        assert g2.n_a == 3 and g2.n_b == 4
+        assert np.array_equal(g2.edge_a, g.edge_a)
+        assert np.array_equal(g2.edge_b, g.edge_b)
+        assert np.allclose(g2.weights, g.weights)
+
+
+class TestProblemDirectory:
+    def test_problem_roundtrip(self, tmp_path):
+        inst = powerlaw_alignment_instance(n=30, expected_degree=3, seed=0)
+        directory = str(tmp_path / "prob")
+        save_alignment_problem(directory, inst.problem)
+        loaded = load_alignment_problem(directory, alpha=1.0, beta=2.0)
+        assert loaded.a_graph.edge_set() == inst.problem.a_graph.edge_set()
+        assert loaded.b_graph.edge_set() == inst.problem.b_graph.edge_set()
+        assert loaded.n_edges_l == inst.problem.n_edges_l
+        # Same objective on the same indicator.
+        x = inst.reference_indicator()
+        assert np.isclose(loaded.objective(x), inst.problem.objective(x))
+
+    def test_loaded_problem_solvable(self, tmp_path):
+        from repro.core import BPConfig, belief_propagation_align
+
+        inst = powerlaw_alignment_instance(n=25, expected_degree=3, seed=1)
+        directory = str(tmp_path / "prob")
+        save_alignment_problem(directory, inst.problem)
+        loaded = load_alignment_problem(directory)
+        res = belief_propagation_align(loaded, BPConfig(n_iter=5))
+        assert res.objective > 0

@@ -1,0 +1,126 @@
+"""Tests for Klau's matching-relaxation method (repro.core.klau)."""
+
+import numpy as np
+import pytest
+
+from repro.core import KlauConfig, klau_align
+from repro.errors import ConfigurationError
+from repro.matching.validate import check_matching
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        KlauConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_iter=0),
+            dict(gamma=0.0),
+            dict(gamma=-1.0),
+            dict(mstep=0),
+            dict(u_bound=-1.0),
+            dict(step_rule="bogus"),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            KlauConfig(**kwargs)
+
+
+class TestRun:
+    def test_returns_valid_matching(self, small_instance):
+        res = klau_align(small_instance.problem, KlauConfig(n_iter=10))
+        check_matching(small_instance.problem.ell, res.matching)
+
+    def test_history_recorded(self, small_instance):
+        res = klau_align(small_instance.problem, KlauConfig(n_iter=8))
+        assert 1 <= res.iterations <= 8
+        assert res.history[0].iteration == 1
+        assert res.method.startswith("klau-mr")
+
+    def test_objective_consistent_with_matching(self, small_instance):
+        p = small_instance.problem
+        res = klau_align(p, KlauConfig(n_iter=10))
+        x = res.matching.indicator(p.n_edges_l)
+        assert np.isclose(p.objective(x), res.objective)
+
+    def test_upper_bound_above_objective(self, small_instance):
+        """With exact rounding, every upper bound dominates the optimum,
+        hence the returned objective."""
+        res = klau_align(
+            small_instance.problem, KlauConfig(n_iter=20, matcher="exact")
+        )
+        assert res.best_upper_bound >= res.objective - 1e-9
+
+    def test_approx_matcher_runs(self, small_instance):
+        res = klau_align(
+            small_instance.problem, KlauConfig(n_iter=10, matcher="approx")
+        )
+        check_matching(small_instance.problem.ell, res.matching)
+
+    def test_gamma_halving_on_stall(self, small_instance):
+        res = klau_align(
+            small_instance.problem,
+            KlauConfig(n_iter=40, mstep=2, step_rule="fixed", gamma=0.4,
+                       gap_tolerance=-1.0),
+        )
+        gammas = [r.gamma for r in res.history]
+        assert min(gammas) < 0.4  # at least one halving occurred
+
+    def test_final_exact_never_hurts(self, small_instance):
+        p = small_instance.problem
+        with_final = klau_align(
+            p, KlauConfig(n_iter=10, matcher="approx", final_exact=True)
+        )
+        without = klau_align(
+            p, KlauConfig(n_iter=10, matcher="approx", final_exact=False)
+        )
+        assert with_final.objective >= without.objective - 1e-9
+
+    def test_deterministic(self, small_instance):
+        r1 = klau_align(small_instance.problem, KlauConfig(n_iter=6))
+        r2 = klau_align(small_instance.problem, KlauConfig(n_iter=6))
+        assert r1.objective == r2.objective
+        assert np.array_equal(r1.matching.mate_a, r2.matching.mate_a)
+
+    def test_early_exit_on_closed_gap(self):
+        """A trivial problem closes the duality gap immediately."""
+        from repro.core import NetworkAlignmentProblem
+        from repro.graph import Graph
+        from repro.sparse.bipartite import BipartiteGraph
+
+        a = Graph.from_edges(2, [0], [1])
+        b = Graph.from_edges(2, [0], [1])
+        ell = BipartiteGraph.from_edges(2, 2, [0, 1], [0, 1], [1.0, 1.0])
+        p = NetworkAlignmentProblem(a, b, ell, 1.0, 2.0)
+        res = klau_align(p, KlauConfig(n_iter=50))
+        assert res.iterations < 50
+        assert np.isclose(res.objective, 4.0)  # weight 2 + beta*1 overlap
+
+    def test_empty_squares_problem(self):
+        """No overlaps at all: reduces to pure max-weight matching."""
+        from repro.core import NetworkAlignmentProblem
+        from repro.graph import Graph
+        from repro.sparse.bipartite import BipartiteGraph
+
+        a = Graph.from_edges(2, [], [])
+        b = Graph.from_edges(2, [0], [1])
+        ell = BipartiteGraph.from_edges(2, 2, [0, 1], [0, 1], [2.0, 3.0])
+        p = NetworkAlignmentProblem(a, b, ell, 1.0, 2.0)
+        res = klau_align(p, KlauConfig(n_iter=5))
+        assert np.isclose(res.objective, 5.0)
+
+    def test_params_recorded(self, small_instance):
+        res = klau_align(small_instance.problem, KlauConfig(n_iter=3))
+        assert res.params["n_iter"] == 3
+        assert res.params["alpha"] == small_instance.problem.alpha
+
+    def test_objective_trace_shape(self, small_instance):
+        res = klau_align(small_instance.problem, KlauConfig(n_iter=7))
+        assert len(res.objective_trace()) == res.iterations
+        assert len(res.upper_bound_trace()) == res.iterations
+
+    def test_summary_mentions_method(self, small_instance):
+        res = klau_align(small_instance.problem, KlauConfig(n_iter=3))
+        assert "klau-mr" in res.summary()

@@ -1,0 +1,88 @@
+"""Tests for the LP-relaxation baseline (repro.core.lp_relax)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import NetworkAlignmentProblem, lp_relaxation_align
+from repro.core.lp_relax import lp_relaxation_scores
+from repro.graph import Graph
+from repro.matching.validate import check_matching
+from repro.sparse.bipartite import BipartiteGraph
+
+
+def tiny_problem() -> NetworkAlignmentProblem:
+    a = Graph.from_edges(3, [0, 1], [1, 2])
+    b = Graph.from_edges(3, [0, 1], [1, 2])
+    ell = BipartiteGraph.from_edges(
+        3, 3,
+        [0, 0, 1, 1, 2, 2],
+        [0, 1, 0, 1, 1, 2],
+        [1.0, 0.8, 0.7, 1.0, 0.4, 1.0],
+    )
+    return NetworkAlignmentProblem(a, b, ell, alpha=1.0, beta=2.0)
+
+
+def brute_force_optimum(problem: NetworkAlignmentProblem) -> float:
+    """Enumerate all matchings in L (tiny instances only)."""
+    m = problem.n_edges_l
+    best = 0.0
+    ea, eb = problem.ell.edge_a, problem.ell.edge_b
+    for r in range(m + 1):
+        for combo in itertools.combinations(range(m), r):
+            sel = list(combo)
+            if len(set(ea[sel].tolist())) != r:
+                continue
+            if len(set(eb[sel].tolist())) != r:
+                continue
+            x = np.zeros(m)
+            x[sel] = 1.0
+            best = max(best, problem.objective(x))
+    return best
+
+
+class TestLPRelaxation:
+    def test_scores_shape_and_bounds(self):
+        p = tiny_problem()
+        scores, value = lp_relaxation_scores(p)
+        assert scores.shape == (p.n_edges_l,)
+        assert np.all(scores >= -1e-9) and np.all(scores <= 1 + 1e-9)
+        assert value > 0
+
+    def test_lp_value_is_upper_bound(self):
+        p = tiny_problem()
+        _, value = lp_relaxation_scores(p)
+        assert value >= brute_force_optimum(p) - 1e-6
+
+    def test_rounded_solution_feasible_and_bounded(self):
+        p = tiny_problem()
+        res = lp_relaxation_align(p)
+        check_matching(p.ell, res.matching)
+        opt = brute_force_optimum(p)
+        assert res.objective <= opt + 1e-9
+        assert res.objective <= res.best_upper_bound + 1e-6
+
+    def test_method_label(self):
+        res = lp_relaxation_align(tiny_problem())
+        assert res.method.startswith("lp-relax")
+        assert res.iterations == 1
+
+    def test_approx_rounding_variant(self):
+        res = lp_relaxation_align(tiny_problem(), matcher="approx")
+        check_matching(tiny_problem().ell, res.matching)
+
+    def test_on_generated_instance(self, small_instance):
+        p = small_instance.problem
+        res = lp_relaxation_align(p)
+        check_matching(p.ell, res.matching)
+        assert res.objective <= res.best_upper_bound + 1e-6
+
+    def test_baseline_below_iterative_methods(self, small_instance):
+        """§III: both iterative methods outperform the LP baseline."""
+        from repro.core import BPConfig, belief_propagation_align
+
+        p = small_instance.problem
+        lp = lp_relaxation_align(p)
+        bp = belief_propagation_align(p, BPConfig(n_iter=30))
+        assert bp.objective >= lp.objective - 1e-9

@@ -1,0 +1,176 @@
+"""Tests for the distributed-memory model (repro.machine.distributed)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TraceError
+from repro.machine.distributed import (
+    DEFAULT_BOUNDARY,
+    ClusterTopology,
+    DistributedRuntime,
+)
+from repro.machine.topology import single_socket_xeon
+from repro.machine.trace import (
+    IterationTrace,
+    LoopTrace,
+    RoundedLoopTrace,
+    SerialTrace,
+    StepTrace,
+    TaskGroupTrace,
+)
+
+
+def cluster(n_nodes: int, **kw) -> DistributedRuntime:
+    return DistributedRuntime(
+        ClusterTopology(n_nodes=n_nodes, **kw)
+    )
+
+
+def big_loop(random_frac=0.0, n=4_000_000, cost=4.0, byts=32.0):
+    return LoopTrace("damping", n_items=n, uniform_cost=cost,
+                     uniform_bytes=byts, schedule="static",
+                     random_frac=random_frac)
+
+
+class TestTopology:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClusterTopology(n_nodes=0)
+        with pytest.raises(ConfigurationError):
+            ClusterTopology(bandwidth_Bps=0.0)
+        with pytest.raises(ConfigurationError):
+            ClusterTopology(threads_per_node=1000)
+
+    def test_total_threads(self):
+        c = ClusterTopology(n_nodes=4, threads_per_node=10)
+        assert c.total_threads == 40
+
+    def test_bad_boundary_fraction(self):
+        with pytest.raises(ConfigurationError):
+            DistributedRuntime(
+                ClusterTopology(), boundary_fractions={"damping": 2.0}
+            )
+
+
+class TestSupersteps:
+    def test_single_node_has_no_comm(self):
+        rt1 = cluster(1)
+        loop = big_loop()
+        local = rt1._local.loop_time(loop)
+        assert rt1.loop_time("damping", loop) == pytest.approx(local)
+
+    def test_local_steps_scale_across_nodes(self):
+        """Boundary-free loops (damping) scale near-linearly in nodes."""
+        loop = big_loop()
+        t1 = cluster(1).loop_time("damping", loop)
+        t8 = cluster(8).loop_time("damping", loop)
+        assert 4.0 < t1 / t8 <= 8.5
+
+    def test_boundary_steps_pay_communication(self):
+        """othermax ships boundary traffic: worse than damping at scale."""
+        loop_local = big_loop()
+        loop_comm = LoopTrace("othermax", n_items=loop_local.n_items,
+                              uniform_cost=4.0, uniform_bytes=32.0,
+                              schedule="static")
+        rt = cluster(16)
+        assert rt.loop_time("othermax", loop_comm) > rt.loop_time(
+            "damping", loop_local
+        )
+
+    def test_speedup_bounded_by_resources(self):
+        loop = big_loop()
+        t1 = cluster(1).loop_time("damping", loop)
+        for p in (2, 4, 16):
+            tp = cluster(p).loop_time("damping", loop)
+            assert t1 / tp <= p * 1.05
+
+    def test_latency_wall_at_high_node_counts(self):
+        """A tiny loop with boundary traffic stops scaling: α dominates."""
+        tiny = LoopTrace("othermax", n_items=2000, uniform_cost=1.0,
+                         uniform_bytes=16.0, schedule="static")
+        t4 = cluster(4).loop_time("othermax", tiny)
+        t64 = cluster(64).loop_time("othermax", tiny)
+        assert t64 >= t4  # more nodes, more messages, no gain
+
+    def test_unknown_step_uses_default_fraction(self):
+        rt = cluster(4)
+        t = rt.loop_time("mystery_step", big_loop())
+        assert t > 0
+
+    def test_serial_replicated(self):
+        rt = cluster(8)
+        t = rt.trace_time("setup", SerialTrace("s", 1e6, 0.0))
+        assert t > rt._barrier_time()
+
+    def test_unknown_trace_type(self):
+        with pytest.raises(TraceError):
+            cluster(2).trace_time("x", object())
+
+
+class TestMatchingAndTasks:
+    def _matching(self, rounds=5):
+        loops = tuple(
+            LoopTrace(f"r{i}", n_items=max(1, 100_000 >> (2 * i)),
+                      uniform_cost=5.0, uniform_bytes=24.0,
+                      random_frac=0.5)
+            for i in range(rounds)
+        )
+        return RoundedLoopTrace(
+            "match", loops, tuple(50_000 >> i for i in range(rounds))
+        )
+
+    def test_matching_pays_barrier_per_round(self):
+        trace = self._matching()
+        rt = cluster(16)
+        t = rt.rounded_loop_time("match", trace)
+        assert t >= len(trace.rounds) * rt._barrier_time()
+
+    def test_matching_scales_worse_than_local_loops(self):
+        """[29]'s round structure limits distributed matching exactly as
+        §V's does on shared memory."""
+        trace = self._matching()
+        loop = big_loop()
+        t1m = cluster(1).rounded_loop_time("match", trace)
+        t16m = cluster(16).rounded_loop_time("match", trace)
+        t1l = cluster(1).loop_time("damping", loop)
+        t16l = cluster(16).loop_time("damping", loop)
+        assert (t1m / t16m) < (t1l / t16l)
+
+    def test_task_group_waves(self):
+        tasks = tuple(self._matching(rounds=2) for _ in range(8))
+        group = TaskGroupTrace("rounding", tasks)
+        t4 = cluster(4).trace_time("rounding", group)
+        t8 = cluster(8).trace_time("rounding", group)
+        assert t8 <= t4  # more nodes, fewer waves
+
+    def test_iteration_timing(self):
+        it = IterationTrace(
+            steps=[
+                StepTrace("damping", [big_loop(n=10_000)]),
+                StepTrace("rounding", [self._matching(rounds=2)]),
+            ]
+        )
+        rt = cluster(4)
+        timing = rt.iteration_timing(it)
+        assert set(timing.per_step) == {"damping", "rounding"}
+        assert np.isclose(timing.total, sum(timing.per_step.values()))
+
+
+class TestEndToEnd:
+    def test_real_bp_traces_on_cluster(self, small_instance):
+        from repro.bench.figures import capture_traces
+
+        traces = capture_traces(
+            small_instance.problem, "bp", batch=4, n_iter=3,
+            full_size_edges=1_000_000,
+        )
+        t1 = sum(
+            cluster(1).iteration_timing(it).total for it in traces
+        )
+        t8 = sum(
+            cluster(8).iteration_timing(it).total for it in traces
+        )
+        # Mildly superlinear speedups are legitimate here: sharding
+        # shrinks each node's gather footprint into its own L3 (the
+        # classic MPI cache effect).  Bound it loosely.
+        assert 1.0 < t1 / t8 < 2.0 * 8

@@ -1,0 +1,250 @@
+"""Tests for the simulated runtime (repro.machine.runtime).
+
+These encode the *physics invariants* the machine model must satisfy —
+speedup bounds, schedule behaviour on imbalanced loads, NUMA policy
+ordering — not absolute times.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TraceError
+from repro.machine.runtime import SimulatedRuntime
+from repro.machine.topology import single_socket_xeon, xeon_e7_8870
+from repro.machine.trace import (
+    IterationTrace,
+    LoopTrace,
+    RoundedLoopTrace,
+    SerialTrace,
+    StepTrace,
+    TaskGroupTrace,
+)
+
+
+def compute_loop(n=100_000, cost=10.0):
+    """A compute-heavy, perfectly balanced loop (tiny memory traffic)."""
+    return LoopTrace("compute", n_items=n, uniform_cost=cost,
+                     uniform_bytes=0.001, schedule="static")
+
+
+def memory_loop(n=10_000_000, byts=64.0):
+    """A streaming, memory-bound loop larger than any cache."""
+    return LoopTrace("stream", n_items=n, uniform_cost=0.5,
+                     uniform_bytes=byts, schedule="static")
+
+
+class TestBasics:
+    def test_unknown_memory_policy(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedRuntime(xeon_e7_8870(), 4, memory="magic")
+
+    def test_unknown_trace_type(self):
+        rt = SimulatedRuntime(xeon_e7_8870(), 4)
+        with pytest.raises(TraceError):
+            rt.trace_time(object())
+
+    def test_serial_trace(self):
+        rt = SimulatedRuntime(xeon_e7_8870(), 8)
+        t = rt.serial_time(SerialTrace("s", 1e9, 0.0))
+        assert t > 0
+
+    def test_atomic_cost_grows_with_threads(self):
+        topo = xeon_e7_8870()
+        a1 = SimulatedRuntime(topo, 1).atomic_cost()
+        a80 = SimulatedRuntime(topo, 80).atomic_cost()
+        assert a80 > a1
+
+
+class TestComputeScaling:
+    def test_speedup_at_most_linear(self):
+        topo = xeon_e7_8870()
+        t1 = SimulatedRuntime(topo, 1, "bound", "compact").loop_time(
+            compute_loop()
+        )
+        for p in (2, 10, 40, 80):
+            tp = SimulatedRuntime(topo, p, "bound", "scatter").loop_time(
+                compute_loop()
+            )
+            assert t1 / tp <= p * 1.01
+
+    def test_compute_bound_scales_well_interleave(self):
+        topo = xeon_e7_8870()
+        t1 = SimulatedRuntime(topo, 1, "bound", "compact").loop_time(
+            compute_loop()
+        )
+        t40 = SimulatedRuntime(topo, 40, "interleave", "scatter").loop_time(
+            compute_loop()
+        )
+        assert t1 / t40 > 20  # compute-bound: near-linear
+
+    def test_more_threads_never_much_worse(self):
+        topo = xeon_e7_8870()
+        times = [
+            SimulatedRuntime(topo, p, "interleave", "scatter").loop_time(
+                compute_loop()
+            )
+            for p in (1, 2, 5, 10, 20, 40)
+        ]
+        for a, b in zip(times, times[1:]):
+            assert b <= a * 1.10
+
+    def test_smt_sharing_slows_cores(self):
+        """Two threads on one core (compact) < 2x one thread."""
+        topo = xeon_e7_8870()
+        t1 = SimulatedRuntime(topo, 1, "bound", "compact").loop_time(
+            compute_loop()
+        )
+        t2_same_core = SimulatedRuntime(topo, 2, "bound", "compact").loop_time(
+            compute_loop()
+        )
+        t2_two_cores = SimulatedRuntime(topo, 2, "bound", "scatter").loop_time(
+            compute_loop()
+        )
+        assert t2_two_cores < t2_same_core
+        assert t1 / t2_same_core < 1.6
+
+
+class TestMemoryModel:
+    def test_bound_saturates_interleave_does_not(self):
+        """§VIII-B: the best scalability arises from interleaved memory."""
+        topo = xeon_e7_8870()
+        loop = memory_loop()
+        t1 = SimulatedRuntime(topo, 1, "bound", "compact").loop_time(loop)
+        bound40 = SimulatedRuntime(topo, 40, "bound", "scatter").loop_time(loop)
+        inter40 = SimulatedRuntime(topo, 40, "interleave", "scatter").loop_time(loop)
+        assert inter40 < bound40
+        assert t1 / bound40 < 8  # one socket's bandwidth limits
+
+    def test_interleave_single_thread_slower_than_bound(self):
+        """§VIII-B: the fastest 1-thread run uses bound memory."""
+        topo = xeon_e7_8870()
+        loop = memory_loop()
+        t_bound = SimulatedRuntime(topo, 1, "bound", "compact").loop_time(loop)
+        t_inter = SimulatedRuntime(topo, 1, "interleave", "compact").loop_time(loop)
+        assert t_bound < t_inter
+
+    def test_cache_resident_gathers_faster(self):
+        """A gather whose hot set fits L3 beats one that spills to DRAM;
+        streaming loops see no cache benefit (compulsory misses)."""
+        topo = xeon_e7_8870()
+        rt = SimulatedRuntime(topo, 10, "bound", "compact")
+        small_gather = LoopTrace("s", n_items=100_000, uniform_cost=0.5,
+                                 uniform_bytes=64.0, schedule="static",
+                                 random_frac=1.0)
+        big_gather = LoopTrace("b", n_items=10_000_000, uniform_cost=0.5,
+                               uniform_bytes=64.0, schedule="static",
+                               random_frac=1.0)
+        per_item_small = rt.loop_time(small_gather) / small_gather.n_items
+        per_item_big = rt.loop_time(big_gather) / big_gather.n_items
+        assert per_item_small < per_item_big
+        # Streaming loops: footprint does not matter.
+        small_stream = LoopTrace("ss", n_items=100_000, uniform_cost=0.5,
+                                 uniform_bytes=64.0, schedule="static")
+        big_stream = LoopTrace("bs", n_items=10_000_000, uniform_cost=0.5,
+                               uniform_bytes=64.0, schedule="static")
+        ps = rt.loop_time(small_stream) / small_stream.n_items
+        pb = rt.loop_time(big_stream) / big_stream.n_items
+        assert abs(ps - pb) / pb < 0.2
+
+    def test_random_access_penalty(self):
+        topo = xeon_e7_8870()
+        stream = memory_loop()
+        gather = LoopTrace("g", n_items=stream.n_items,
+                           uniform_cost=stream.uniform_cost,
+                           uniform_bytes=stream.uniform_bytes,
+                           schedule="static", random_frac=1.0)
+        rt = SimulatedRuntime(topo, 8, "interleave", "scatter")
+        assert rt.loop_time(gather) > rt.loop_time(stream)
+
+    def test_remote_latency_single_socket_topology_is_flat(self):
+        """On a UMA topology, bound and interleave coincide."""
+        topo = single_socket_xeon()
+        loop = memory_loop()
+        tb = SimulatedRuntime(topo, 10, "bound", "compact").loop_time(loop)
+        ti = SimulatedRuntime(topo, 10, "interleave", "compact").loop_time(loop)
+        assert np.isclose(tb, ti)
+
+
+class TestSchedules:
+    def test_dynamic_beats_static_on_imbalance(self):
+        """§IV-A: dynamic scheduling wins on the imbalanced S loops."""
+        rng = np.random.default_rng(0)
+        costs = rng.pareto(1.5, 50_000) * 10 + 1
+        kwargs = dict(n_items=len(costs), costs=costs, uniform_bytes=0.01,
+                      chunk=100)
+        imb_static = LoopTrace("s", schedule="static", **kwargs)
+        imb_dynamic = LoopTrace("d", schedule="dynamic", **kwargs)
+        rt = SimulatedRuntime(xeon_e7_8870(), 20, "interleave", "scatter")
+        assert rt.loop_time(imb_dynamic) < rt.loop_time(imb_static)
+
+    def test_schedules_equal_on_uniform_load(self):
+        uni_s = LoopTrace("s", n_items=10_000, uniform_cost=5.0,
+                          uniform_bytes=0.01, schedule="static", chunk=100)
+        uni_d = LoopTrace("d", n_items=10_000, uniform_cost=5.0,
+                          uniform_bytes=0.01, schedule="dynamic", chunk=100)
+        rt = SimulatedRuntime(xeon_e7_8870(), 10, "interleave", "scatter")
+        ts, td = rt.loop_time(uni_s), rt.loop_time(uni_d)
+        assert abs(ts - td) / ts < 0.15
+
+    def test_single_thread_schedule_irrelevant(self):
+        loop_s = LoopTrace("s", n_items=1000, uniform_cost=2.0,
+                           schedule="static")
+        loop_d = LoopTrace("d", n_items=1000, uniform_cost=2.0,
+                           schedule="dynamic")
+        rt = SimulatedRuntime(xeon_e7_8870(), 1)
+        assert np.isclose(rt.loop_time(loop_s), rt.loop_time(loop_d))
+
+
+class TestRoundedAndTasks:
+    def _matching_trace(self, rounds=5, queue0=100_000):
+        rounds_list = []
+        atomics = []
+        q = queue0
+        for r in range(rounds):
+            rounds_list.append(
+                LoopTrace(f"r{r}", n_items=max(1, q), uniform_cost=5.0,
+                          uniform_bytes=24.0, random_frac=1.0)
+            )
+            atomics.append(q // 2)
+            q //= 4
+        return RoundedLoopTrace("match", tuple(rounds_list), tuple(atomics))
+
+    def test_rounded_loop_sums_rounds(self):
+        rt = SimulatedRuntime(xeon_e7_8870(), 1, "bound", "compact")
+        trace = self._matching_trace()
+        total = rt.rounded_loop_time(trace)
+        individual = sum(rt.loop_time(r) for r in trace.rounds)
+        assert total >= individual * 0.99
+
+    def test_matching_scales_sublinearly(self):
+        """Shrinking queues + per-round barriers limit matcher scaling
+        (§VIII-C: 'the matching limits the overall scalability')."""
+        topo = xeon_e7_8870()
+        trace = self._matching_trace()
+        t1 = SimulatedRuntime(topo, 1, "bound", "compact").rounded_loop_time(trace)
+        t40 = SimulatedRuntime(topo, 40, "interleave", "scatter").rounded_loop_time(trace)
+        assert 1.0 < t1 / t40 < 40.0
+
+    def test_task_group_empty(self):
+        rt = SimulatedRuntime(xeon_e7_8870(), 8)
+        assert rt.task_group_time(TaskGroupTrace("g", ())) == 0.0
+
+    def test_task_group_parallelizes_tasks(self):
+        topo = xeon_e7_8870()
+        tasks = tuple(self._matching_trace(queue0=20_000) for _ in range(8))
+        group = TaskGroupTrace("g", tasks)
+        t1 = SimulatedRuntime(topo, 1, "interleave", "scatter").task_group_time(group)
+        t8 = SimulatedRuntime(topo, 8, "interleave", "scatter").task_group_time(group)
+        assert t8 < t1
+
+    def test_iteration_timing_sums_steps(self):
+        rt = SimulatedRuntime(xeon_e7_8870(), 4)
+        it = IterationTrace(
+            steps=[
+                StepTrace("a", [compute_loop(n=1000)]),
+                StepTrace("b", [SerialTrace("s", 1e6, 0.0)]),
+            ]
+        )
+        timing = rt.iteration_timing(it)
+        assert set(timing.per_step) == {"a", "b"}
+        assert np.isclose(timing.total, sum(timing.per_step.values()))

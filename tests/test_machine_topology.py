@@ -1,0 +1,113 @@
+"""Tests for machine topology and thread placement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.affinity import place_threads
+from repro.machine.topology import (
+    MachineTopology,
+    single_socket_xeon,
+    xeon_e7_8870,
+)
+
+
+class TestTopology:
+    def test_e7_8870_dimensions(self):
+        t = xeon_e7_8870()
+        assert t.n_sockets == 8
+        assert t.cores_per_socket == 10
+        assert t.smt_per_core == 2
+        assert t.n_cores == 80
+        assert t.max_threads == 160
+        assert t.l3_bytes_per_socket == 30e6
+
+    def test_total_bandwidth(self):
+        t = xeon_e7_8870()
+        assert t.total_dram_bw == 8 * t.dram_bw_per_socket
+
+    def test_overrides(self):
+        t = xeon_e7_8870(n_sockets=4)
+        assert t.n_sockets == 4
+
+    def test_single_socket(self):
+        t = single_socket_xeon()
+        assert t.n_sockets == 1
+        assert t.remote_latency_factor == 1.0
+
+    def test_barrier_monotone_in_threads(self):
+        t = xeon_e7_8870()
+        costs = [t.barrier_s(p) for p in (1, 2, 4, 8, 16, 80)]
+        assert costs[0] == 0.0
+        assert all(b >= a for a, b in zip(costs, costs[1:]))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_sockets=0),
+            dict(smt_efficiency=0.0),
+            dict(smt_efficiency=1.5),
+            dict(remote_latency_factor=0.5),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            xeon_e7_8870(**kwargs)
+
+
+class TestPlacement:
+    def test_compact_fills_socket_first(self):
+        t = xeon_e7_8870()
+        p = place_threads(t, 20, "compact")
+        # 20 threads compact = 10 cores x 2 SMT on socket 0.
+        assert np.all(p.socket == 0)
+        assert p.core_occupancy().max() == 2
+
+    def test_scatter_spreads_over_sockets(self):
+        t = xeon_e7_8870()
+        p = place_threads(t, 8, "scatter")
+        assert np.array_equal(np.sort(p.socket), np.arange(8))
+        assert p.core_occupancy().max() == 1
+
+    def test_scatter_one_thread_per_core_until_full(self):
+        t = xeon_e7_8870()
+        p = place_threads(t, 80, "scatter")
+        assert p.core_occupancy().max() == 1
+        p = place_threads(t, 81, "scatter")
+        assert p.core_occupancy().max() == 2
+
+    def test_compact_smt_lanes(self):
+        t = xeon_e7_8870()
+        p = place_threads(t, 4, "compact")
+        assert np.array_equal(p.smt_lane, [0, 1, 0, 1])
+        assert np.array_equal(p.core, [0, 0, 1, 1])
+
+    def test_threads_per_socket(self):
+        t = xeon_e7_8870()
+        p = place_threads(t, 16, "scatter")
+        counts = p.threads_per_socket()
+        assert all(v == 2 for v in counts.values())
+
+    def test_full_machine(self):
+        t = xeon_e7_8870()
+        for policy in ("compact", "scatter"):
+            p = place_threads(t, t.max_threads, policy)
+            assert p.n_threads == 160
+            assert p.core_occupancy().max() == 2
+            assert len(p.sockets_in_use()) == 8
+
+    def test_bounds(self):
+        t = xeon_e7_8870()
+        with pytest.raises(ConfigurationError):
+            place_threads(t, 0, "compact")
+        with pytest.raises(ConfigurationError):
+            place_threads(t, 161, "compact")
+        with pytest.raises(ConfigurationError):
+            place_threads(t, 4, "weird")
+
+    def test_cores_unique_per_socket_mapping(self):
+        t = xeon_e7_8870()
+        for policy in ("compact", "scatter"):
+            p = place_threads(t, 40, policy)
+            # core id // cores_per_socket must equal the socket id
+            assert np.array_equal(p.core // t.cores_per_socket, p.socket)

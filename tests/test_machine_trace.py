@@ -1,0 +1,194 @@
+"""Tests for work traces and the algorithm tracer (repro.machine.trace)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.machine.trace import (
+    AlgorithmTracer,
+    LoopTrace,
+    RoundedLoopTrace,
+    SerialTrace,
+    TaskGroupTrace,
+    matching_to_trace,
+    scale_iteration,
+    scale_trace,
+)
+from repro.matching import locally_dominant_matching
+from repro.matching.result import MatchingResult
+
+from tests.helpers import random_bipartite
+
+
+class TestLoopTrace:
+    def test_uniform_totals(self):
+        t = LoopTrace("x", n_items=10, uniform_cost=2.0, uniform_bytes=8.0)
+        assert t.total_cost == 20.0
+        assert t.total_bytes == 80.0
+
+    def test_array_totals(self):
+        t = LoopTrace("x", n_items=3, costs=np.array([1.0, 2.0, 3.0]),
+                      uniform_bytes=4.0)
+        assert t.total_cost == 6.0
+        assert t.total_bytes == 12.0
+
+    def test_chunk_totals_uniform(self):
+        t = LoopTrace("x", n_items=10, uniform_cost=1.0, uniform_bytes=2.0,
+                      chunk=4)
+        costs, byts = t.chunk_totals()
+        assert np.array_equal(costs, [4.0, 4.0, 2.0])
+        assert np.array_equal(byts, [8.0, 8.0, 4.0])
+
+    def test_chunk_totals_array(self):
+        t = LoopTrace("x", n_items=5, costs=np.arange(5, dtype=float),
+                      bytes_per_item=np.ones(5), chunk=2)
+        costs, byts = t.chunk_totals()
+        assert np.array_equal(costs, [1.0, 5.0, 4.0])
+        assert np.array_equal(byts, [2.0, 2.0, 1.0])
+
+    def test_chunks_conserve_work(self):
+        rng = np.random.default_rng(0)
+        c = rng.random(17)
+        t = LoopTrace("x", n_items=17, costs=c, uniform_bytes=1.0, chunk=5)
+        costs, byts = t.chunk_totals()
+        assert np.isclose(costs.sum(), c.sum())
+        assert np.isclose(byts.sum(), 17.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(schedule="roundrobin"),
+            dict(chunk=0),
+            dict(costs=np.ones(3)),  # n_items mismatch (n_items=5)
+            dict(random_frac=1.5),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(TraceError):
+            LoopTrace("x", n_items=5, uniform_cost=1.0, **kwargs)
+
+
+class TestScaling:
+    def test_scale_uniform_loop(self):
+        t = LoopTrace("x", n_items=10, uniform_cost=2.0, uniform_bytes=8.0)
+        s = scale_trace(t, 3.0)
+        assert s.n_items == 30
+        assert np.isclose(s.total_cost, 3 * t.total_cost)
+
+    def test_scale_array_loop_preserves_profile(self):
+        t = LoopTrace("x", n_items=4, costs=np.array([1.0, 5.0, 1.0, 5.0]),
+                      uniform_bytes=1.0)
+        s = scale_trace(t, 2.0)
+        assert s.n_items == 8
+        assert np.isclose(s.total_cost, 24.0)
+        assert s.costs.max() == 5.0  # imbalance preserved, not smoothed
+
+    def test_scale_serial(self):
+        s = scale_trace(SerialTrace("s", 10.0, 4.0), 2.5)
+        assert s.cost == 25.0 and s.total_bytes == 10.0
+
+    def test_scale_identity(self):
+        t = LoopTrace("x", n_items=3, uniform_cost=1.0)
+        assert scale_trace(t, 1.0) is t
+
+    def test_scale_preserves_random_frac(self):
+        t = LoopTrace("x", n_items=3, uniform_cost=1.0, random_frac=0.7)
+        assert scale_trace(t, 2.0).random_frac == 0.7
+
+    def test_scale_invalid(self):
+        with pytest.raises(TraceError):
+            scale_trace(LoopTrace("x", n_items=1, uniform_cost=1.0), 0.0)
+
+    def test_scale_rounded_loop(self):
+        inner = LoopTrace("r", n_items=4, uniform_cost=1.0)
+        t = RoundedLoopTrace("m", (inner,), (8,))
+        s = scale_trace(t, 2.0)
+        assert s.rounds[0].n_items == 8
+        assert s.atomics_per_round == (16,)
+        # The number of rounds (log-factor) must NOT scale.
+        assert len(s.rounds) == len(t.rounds)
+
+    def test_scale_iteration(self):
+        tracer = AlgorithmTracer()
+        tracer.uniform_loop("a", n_items=4, cost_per_item=1.0,
+                            bytes_per_item=1.0)
+        tracer.end_iteration()
+        scaled = scale_iteration(tracer.iterations[0], 5.0)
+        assert scaled.steps[0].items[0].n_items == 20
+
+
+class TestMatchingToTrace:
+    def test_from_real_matcher(self, rng):
+        g = random_bipartite(rng, max_side=20)
+        res = locally_dominant_matching(g)
+        trace = matching_to_trace("match", res, g)
+        assert len(trace.rounds) == len(res.rounds)
+        assert trace.total_cost > 0
+
+    def test_rejects_missing_rounds(self, rng):
+        g = random_bipartite(rng)
+        res = MatchingResult(
+            mate_a=np.full(g.n_a, -1), mate_b=np.full(g.n_b, -1),
+            edge_ids=np.array([], dtype=int), weight=0.0,
+        )
+        with pytest.raises(TraceError):
+            matching_to_trace("match", res, g)
+
+
+class TestTracer:
+    def test_steps_grouped_by_name(self):
+        tracer = AlgorithmTracer()
+        tracer.uniform_loop("a", 4, 1.0, 1.0)
+        tracer.uniform_loop("b", 4, 1.0, 1.0)
+        tracer.uniform_loop("a", 4, 1.0, 1.0)
+        tracer.end_iteration()
+        it = tracer.iterations[0]
+        assert it.step_names() == ["a", "b"]
+        assert len(it.steps[0].items) == 2
+
+    def test_iterations_separated(self):
+        tracer = AlgorithmTracer()
+        for _ in range(3):
+            tracer.uniform_loop("a", 4, 1.0, 1.0)
+            tracer.end_iteration()
+        assert len(tracer.iterations) == 3
+
+    def test_loop_with_cost_array(self):
+        tracer = AlgorithmTracer()
+        tracer.loop("imbalanced", costs=np.array([1.0, 9.0]),
+                    bytes_per_item=8.0)
+        tracer.end_iteration()
+        trace = tracer.iterations[0].steps[0].items[0]
+        assert trace.total_cost == 10.0
+
+    def test_serial(self):
+        tracer = AlgorithmTracer()
+        tracer.serial("setup", 5.0, 2.0)
+        tracer.end_iteration()
+        assert isinstance(tracer.iterations[0].steps[0].items[0], SerialTrace)
+
+    def test_rounding_batch(self, rng):
+        g = random_bipartite(rng, max_side=15)
+        res = locally_dominant_matching(g)
+        tracer = AlgorithmTracer()
+        tracer.rounding_batch("rounding", [res, res, res], g)
+        tracer.end_iteration()
+        group = tracer.iterations[0].steps[0].items[0]
+        assert isinstance(group, TaskGroupTrace)
+        assert len(group.tasks) == 3
+
+    def test_representative_prefers_full_iterations(self):
+        tracer = AlgorithmTracer()
+        tracer.uniform_loop("a", 4, 1.0, 1.0)
+        tracer.end_iteration()
+        tracer.uniform_loop("a", 4, 1.0, 1.0)
+        tracer.uniform_loop("b", 4, 1.0, 1.0)
+        tracer.end_iteration()
+        tracer.uniform_loop("a", 4, 1.0, 1.0)
+        tracer.end_iteration()
+        rep = tracer.representative()
+        assert rep.step_names() == ["a", "b"]
+
+    def test_representative_requires_iterations(self):
+        with pytest.raises(TraceError):
+            AlgorithmTracer().representative()

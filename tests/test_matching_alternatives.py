@@ -1,0 +1,136 @@
+"""Tests for the alternative matchers: Suitor and auction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.matching import (
+    auction_matching,
+    check_matching,
+    is_maximal_matching,
+    locally_dominant_matching,
+    max_weight_matching_dense,
+    suitor_matching,
+)
+from repro.sparse.bipartite import BipartiteGraph
+
+from tests.helpers import random_bipartite
+
+
+class TestSuitor:
+    def test_single_edge(self):
+        g = BipartiteGraph.from_edges(1, 1, [0], [0], [2.0])
+        assert suitor_matching(g).weight == 2.0
+
+    def test_skips_nonpositive(self):
+        g = BipartiteGraph.from_edges(1, 1, [0], [0], [-2.0])
+        assert suitor_matching(g).cardinality == 0
+
+    def test_dethroning(self):
+        # Both A vertices want B0; the heavier proposal wins and the
+        # loser settles for B1.
+        g = BipartiteGraph.from_edges(
+            2, 2, [0, 0, 1], [0, 1, 0], [5.0, 1.0, 9.0]
+        )
+        res = suitor_matching(g)
+        assert res.mate_a[1] == 0
+        assert res.mate_a[0] == 1
+        assert res.weight == 10.0
+
+    def test_valid_and_maximal(self, rng):
+        for _ in range(25):
+            g = random_bipartite(rng)
+            res = suitor_matching(g)
+            check_matching(g, res)
+            assert is_maximal_matching(g, res)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_equals_locally_dominant(self, seed):
+        """Property: with distinct weights, Suitor returns exactly the
+        locally-dominant matching (same fixed point, different order)."""
+        rng = np.random.default_rng(seed)
+        g = random_bipartite(rng)
+        s = suitor_matching(g)
+        ld = locally_dominant_matching(g)
+        assert np.array_equal(s.mate_a, ld.mate_a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_half_approx(self, seed):
+        rng = np.random.default_rng(seed)
+        g = random_bipartite(rng)
+        opt = max_weight_matching_dense(g).weight
+        assert suitor_matching(g).weight >= 0.5 * opt - 1e-9
+
+
+class TestAuction:
+    def test_single_edge(self):
+        g = BipartiteGraph.from_edges(1, 1, [0], [0], [2.0])
+        res = auction_matching(g)
+        assert res.weight == 2.0
+
+    def test_empty_and_negative(self):
+        g = BipartiteGraph.from_edges(2, 2, [0], [0], [-1.0])
+        assert auction_matching(g).cardinality == 0
+
+    def test_invalid_epsilon(self, rng):
+        g = random_bipartite(rng)
+        if g.n_edges == 0 or g.weights.max() <= 0:
+            g = BipartiteGraph.from_edges(1, 1, [0], [0], [1.0])
+        with pytest.raises(ConfigurationError):
+            auction_matching(g, epsilon=0.0)
+
+    def test_validity(self, rng):
+        for _ in range(25):
+            g = random_bipartite(rng)
+            check_matching(g, auction_matching(g))
+
+    def test_small_epsilon_is_near_exact(self):
+        g = BipartiteGraph.from_edges(
+            2, 2, [0, 0, 1], [0, 1, 0], [3.0, 2.0, 2.5]
+        )
+        res = auction_matching(g, epsilon=1e-6)
+        assert abs(res.weight - 4.5) < 1e-4
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_additive_guarantee(self, seed):
+        """Property: auction weight >= optimum - cardinality*epsilon."""
+        rng = np.random.default_rng(seed)
+        g = random_bipartite(rng)
+        eps = 0.01
+        res = auction_matching(g, epsilon=eps)
+        opt = max_weight_matching_dense(g).weight
+        slack = eps * max(g.n_a, g.n_b)
+        assert res.weight >= opt - slack * max(g.n_a, g.n_b) - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_tiny_epsilon_matches_exact(self, seed):
+        rng = np.random.default_rng(seed)
+        g = random_bipartite(rng, max_side=8)
+        res = auction_matching(g, epsilon=1e-9)
+        opt = max_weight_matching_dense(g).weight
+        assert abs(res.weight - opt) <= 1e-9 + 1e-7 * max(g.n_a, g.n_b)
+
+
+class TestRoundingIntegration:
+    def test_new_matcher_kinds(self, rng):
+        from repro.core.rounding import make_matcher
+
+        g = random_bipartite(rng)
+        for kind in ("suitor", "auction"):
+            res = make_matcher(kind)(g, g.weights)
+            check_matching(g, res)
+
+    def test_bp_with_suitor_rounding(self, small_instance):
+        from repro.core import BPConfig, belief_propagation_align
+
+        res = belief_propagation_align(
+            small_instance.problem,
+            BPConfig(n_iter=8, matcher="suitor"),
+        )
+        assert res.objective > 0

@@ -1,0 +1,177 @@
+"""Tests for the ½-approximate matchers: greedy and locally-dominant.
+
+These encode §V's guarantees: validity, maximality over positive edges,
+the ½ weight/cardinality approximation ratio, the equivalence of all
+implementations under distinct weights, and the O(log V)-ish round decay.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.matching import (
+    check_matching,
+    greedy_matching,
+    is_maximal_matching,
+    locally_dominant_matching,
+    locally_dominant_matching_vectorized,
+    max_weight_matching_dense,
+)
+from repro.sparse.bipartite import BipartiteGraph
+
+from tests.helpers import random_bipartite
+
+ALL_HALF_APPROX = [
+    ("greedy", greedy_matching),
+    ("ld-queue", locally_dominant_matching),
+    ("ld-one-sided", lambda g, w=None: locally_dominant_matching(
+        g, w, init="one-sided")),
+    ("ld-vectorized", locally_dominant_matching_vectorized),
+]
+
+
+@pytest.mark.parametrize("name,matcher", ALL_HALF_APPROX)
+class TestBasicBehaviour:
+    def test_single_edge(self, name, matcher):
+        g = BipartiteGraph.from_edges(1, 1, [0], [0], [2.0])
+        res = matcher(g)
+        assert res.weight == 2.0
+
+    def test_skips_nonpositive(self, name, matcher):
+        g = BipartiteGraph.from_edges(1, 2, [0, 0], [0, 1], [-1.0, 0.0])
+        res = matcher(g)
+        assert res.cardinality == 0
+
+    def test_empty(self, name, matcher):
+        g = BipartiteGraph.from_edges(2, 2, [], [], [])
+        res = matcher(g)
+        assert res.cardinality == 0
+
+    def test_star_takes_heaviest(self, name, matcher):
+        g = BipartiteGraph.from_edges(
+            1, 3, [0, 0, 0], [0, 1, 2], [1.0, 7.0, 3.0]
+        )
+        res = matcher(g)
+        assert res.weight == 7.0
+        assert res.mate_a[0] == 1
+
+    def test_validity_and_maximality(self, name, matcher, rng):
+        for _ in range(25):
+            g = random_bipartite(rng)
+            res = matcher(g)
+            check_matching(g, res)
+            assert is_maximal_matching(g, res)
+
+    def test_replacement_weights(self, name, matcher):
+        g = BipartiteGraph.from_edges(1, 2, [0, 0], [0, 1], [9.0, 1.0])
+        res = matcher(g, np.array([1.0, 9.0]))
+        assert res.mate_a[0] == 1
+
+
+class TestHalfApproximation:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_weight_ratio(self, seed):
+        """Property: LD weight is at least half the optimum (§V)."""
+        rng = np.random.default_rng(seed)
+        g = random_bipartite(rng)
+        opt = max_weight_matching_dense(g).weight
+        for _, matcher in ALL_HALF_APPROX:
+            res = matcher(g)
+            assert res.weight >= 0.5 * opt - 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_cardinality_ratio(self, seed):
+        """Property: maximal matching ⇒ ≥ half the max cardinality."""
+        rng = np.random.default_rng(seed)
+        g = random_bipartite(rng, allow_negative=False)
+        # Max-cardinality via max-weight on unit weights.
+        ones = np.ones(g.n_edges)
+        opt_card = max_weight_matching_dense(g, ones).cardinality
+        res = locally_dominant_matching(g)
+        assert res.cardinality >= opt_card / 2
+
+
+class TestImplementationEquivalence:
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_all_agree_with_distinct_weights(self, seed):
+        """Property: with distinct weights the LD matching is unique and
+        equals sorted-greedy, for every implementation and init."""
+        rng = np.random.default_rng(seed)
+        g = random_bipartite(rng)  # continuous weights: distinct a.s.
+        results = [matcher(g) for _, matcher in ALL_HALF_APPROX]
+        for res in results[1:]:
+            assert np.array_equal(results[0].mate_a, res.mate_a)
+
+    def test_with_ties_all_valid_and_maximal(self, rng):
+        """Equal weights: implementations may differ but all contracts
+        hold."""
+        for _ in range(20):
+            n_a, n_b = int(rng.integers(1, 8)), int(rng.integers(1, 8))
+            m = int(rng.integers(0, n_a * n_b + 1))
+            g = BipartiteGraph.from_edges(
+                n_a, n_b, rng.integers(0, n_a, m), rng.integers(0, n_b, m),
+                np.ones(m),
+            )
+            for _, matcher in ALL_HALF_APPROX:
+                res = matcher(g)
+                check_matching(g, res)
+                assert is_maximal_matching(g, res)
+
+
+class TestRoundStats:
+    def test_rounds_recorded(self, rng):
+        g = random_bipartite(rng, max_side=20)
+        res = locally_dominant_matching(g)
+        assert len(res.rounds) >= 1
+        assert res.rounds[0].round_index == 0
+
+    def test_matched_counts_add_up(self, rng):
+        for _ in range(10):
+            g = random_bipartite(rng, max_side=20)
+            res = locally_dominant_matching(g)
+            total = sum(r.vertices_matched for r in res.rounds)
+            assert total == 2 * res.cardinality
+
+    def test_atomics_track_matches(self, rng):
+        g = random_bipartite(rng, max_side=20)
+        res = locally_dominant_matching(g)
+        assert sum(r.atomics for r in res.rounds) == 2 * res.cardinality
+
+    def test_queue_shrinks_overall(self):
+        """§V: the queue size decreases as the algorithm progresses."""
+        rng = np.random.default_rng(99)
+        n = 300
+        a = rng.integers(0, n, 8 * n)
+        b = rng.integers(0, n, 8 * n)
+        g = BipartiteGraph.from_edges(n, n, a, b, rng.random(8 * n))
+        res = locally_dominant_matching(g)
+        phase2 = [r.queue_size for r in res.rounds[1:]]
+        if len(phase2) >= 3:
+            assert phase2[-1] <= phase2[0]
+
+    def test_vectorized_rounds_logarithmic(self):
+        """Rounds should be far fewer than vertices (O(log V) regime)."""
+        rng = np.random.default_rng(7)
+        n = 400
+        a = rng.integers(0, n, 6 * n)
+        b = rng.integers(0, n, 6 * n)
+        g = BipartiteGraph.from_edges(n, n, a, b, rng.random(6 * n))
+        res = locally_dominant_matching_vectorized(g)
+        assert len(res.rounds) < 40
+
+    def test_collect_rounds_off(self, rng):
+        g = random_bipartite(rng)
+        res = locally_dominant_matching(g, collect_rounds=False)
+        assert res.rounds == []
+
+
+class TestConfig:
+    def test_unknown_init(self, rng):
+        g = random_bipartite(rng)
+        with pytest.raises(ConfigurationError):
+            locally_dominant_matching(g, init="bogus")

@@ -1,0 +1,165 @@
+"""Tests for matching results, validation, and the small exact solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotAMatchingError
+from repro.matching.exact_small import small_max_weight_matching
+from repro.matching.result import MatchingResult
+from repro.matching.validate import (
+    check_matching,
+    is_maximal_matching,
+    matching_weight,
+)
+from repro.sparse.bipartite import BipartiteGraph
+
+
+def graph3() -> BipartiteGraph:
+    return BipartiteGraph.from_edges(
+        3, 3, [0, 0, 1, 2], [0, 1, 1, 2], [1.0, 2.0, 3.0, 4.0]
+    )
+
+
+class TestValidate:
+    def test_valid(self):
+        eids = check_matching(graph3(), np.array([0, 2, 3]))
+        assert np.array_equal(eids, [0, 2, 3])
+
+    def test_empty_is_valid(self):
+        assert len(check_matching(graph3(), np.array([], dtype=int))) == 0
+
+    def test_duplicate_ids(self):
+        with pytest.raises(NotAMatchingError):
+            check_matching(graph3(), np.array([0, 0]))
+
+    def test_out_of_range(self):
+        with pytest.raises(NotAMatchingError):
+            check_matching(graph3(), np.array([99]))
+
+    def test_a_vertex_twice(self):
+        with pytest.raises(NotAMatchingError):
+            check_matching(graph3(), np.array([0, 1]))  # both at A0
+
+    def test_b_vertex_twice(self):
+        with pytest.raises(NotAMatchingError):
+            check_matching(graph3(), np.array([1, 2]))  # both at B1
+
+    def test_weight(self):
+        assert matching_weight(graph3(), np.array([0, 2, 3])) == 8.0
+
+    def test_maximality_true(self):
+        assert is_maximal_matching(graph3(), np.array([0, 2, 3]))
+
+    def test_maximality_false(self):
+        assert not is_maximal_matching(graph3(), np.array([3]))
+
+    def test_maximality_ignores_nonpositive(self):
+        g = BipartiteGraph.from_edges(1, 1, [0], [0], [-1.0])
+        assert is_maximal_matching(g, np.array([], dtype=int))
+
+
+class TestMatchingResult:
+    def test_from_mates(self):
+        g = graph3()
+        mate_a = np.array([1, -1, 2])
+        res = MatchingResult.from_mates(g, mate_a)
+        assert np.array_equal(res.edge_ids, [1, 3])
+        assert res.weight == 6.0
+        assert res.mate_b[1] == 0 and res.mate_b[2] == 2
+
+    def test_from_mates_rejects_non_edges(self):
+        g = graph3()
+        with pytest.raises(ValueError):
+            MatchingResult.from_mates(g, np.array([2, -1, -1]))
+
+    def test_indicator_shape(self):
+        g = graph3()
+        res = MatchingResult.from_mates(g, np.array([0, -1, -1]))
+        x = res.indicator(g.n_edges)
+        assert x.sum() == 1.0 and x[0] == 1.0
+
+    def test_cardinality(self):
+        g = graph3()
+        res = MatchingResult.from_mates(g, np.array([-1, 1, -1]))
+        assert res.cardinality == 1
+
+    def test_edge_ids_sorted(self):
+        res = MatchingResult(
+            mate_a=np.array([1, 0]),
+            mate_b=np.array([1, 0]),
+            edge_ids=np.array([3, 1]),
+            weight=0.0,
+        )
+        assert np.array_equal(res.edge_ids, [1, 3])
+
+
+class TestSmallExact:
+    def test_empty(self):
+        val, mask = small_max_weight_matching(
+            np.array([], dtype=int), np.array([], dtype=int), np.array([])
+        )
+        assert val == 0.0 and mask.sum() == 0
+
+    def test_all_negative(self):
+        val, mask = small_max_weight_matching(
+            np.array([0]), np.array([0]), np.array([-1.0])
+        )
+        assert val == 0.0 and not mask.any()
+
+    def test_single(self):
+        val, mask = small_max_weight_matching(
+            np.array([0]), np.array([0]), np.array([2.0])
+        )
+        assert val == 2.0 and mask[0]
+
+    def test_disjoint_takes_all(self):
+        val, mask = small_max_weight_matching(
+            np.array([0, 1, 2]), np.array([0, 1, 2]), np.array([1.0, 2.0, 3.0])
+        )
+        assert val == 6.0 and mask.all()
+
+    def test_conflict_chain(self):
+        # Path structure: picking the middle (heaviest) blocks both ends.
+        ea = np.array([0, 1, 1])
+        eb = np.array([0, 0, 1])
+        w = np.array([2.0, 3.0, 2.0])
+        val, mask = small_max_weight_matching(ea, eb, w)
+        assert val == 4.0
+        assert mask[0] and mask[2] and not mask[1]
+
+    def test_large_row_dense_fallback(self):
+        rng = np.random.default_rng(0)
+        k = 30  # beyond the DFS limit
+        ea = rng.integers(0, 6, k)
+        eb = rng.integers(0, 6, k)
+        w = rng.random(k)
+        val, mask = small_max_weight_matching(ea, eb, w)
+        # Verify matching validity and weight consistency.
+        assert np.isclose(w[mask].sum(), val)
+        assert len(np.unique(ea[mask])) == mask.sum()
+        assert len(np.unique(eb[mask])) == mask.sum()
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_matches_global_matcher(self, seed):
+        """Property: agrees with the dense exact matcher on the same
+        (deduplicated) edge list."""
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(1, 12))
+        ea = rng.integers(0, 5, k)
+        eb = rng.integers(0, 5, k)
+        w = rng.uniform(-1, 4, k)
+        val, mask = small_max_weight_matching(ea, eb, w)
+        from repro.matching import max_weight_matching_dense
+
+        g = BipartiteGraph.from_edges(5, 5, ea, eb, w, dedup="max")
+        oracle = max_weight_matching_dense(g)
+        assert val <= oracle.weight + 1e-9
+        # The selected set realizes `val` and is a matching.
+        assert np.isclose(w[mask].sum(), val)
+        assert len(np.unique(ea[mask])) == mask.sum()
+        assert len(np.unique(eb[mask])) == mask.sum()
+        # With dedup=max the graphs agree, so values must match exactly.
+        assert abs(val - oracle.weight) < 1e-9

@@ -1,0 +1,113 @@
+"""Tests for the othermax kernels (repro.core.othermax)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.othermax import othermax_col, othermax_grouped, othermax_row
+from repro.errors import DimensionError
+from repro.sparse.bipartite import BipartiteGraph
+
+from tests.helpers import random_bipartite
+
+
+def brute_othermax(values, groups):
+    """Direct implementation of the paper's definition."""
+    values = np.asarray(values, dtype=float)
+    out = np.empty_like(values)
+    for i in range(len(values)):
+        others = [values[j] for j in range(len(values))
+                  if groups[j] == groups[i] and j != i]
+        out[i] = max(max(others), 0.0) if others else 0.0
+    return out
+
+
+class TestGrouped:
+    def test_basic(self):
+        vals = np.array([1.0, 5.0, 3.0])
+        indptr = np.array([0, 3])
+        out = othermax_grouped(vals, indptr)
+        # max=5: for others replace by 5; for the max, second largest 3.
+        assert np.array_equal(out, [5.0, 3.0, 5.0])
+
+    def test_singleton_group_is_zero(self):
+        out = othermax_grouped(np.array([7.0]), np.array([0, 1]))
+        assert out[0] == 0.0
+
+    def test_negative_values_clipped(self):
+        out = othermax_grouped(np.array([-3.0, -1.0]), np.array([0, 2]))
+        # othermax of -3 is -1 -> bound to 0; of -1 is -3 -> 0.
+        assert np.array_equal(out, [0.0, 0.0])
+
+    def test_duplicate_maxima(self):
+        out = othermax_grouped(np.array([4.0, 4.0, 1.0]), np.array([0, 3]))
+        # Both maxima see "the other 4".
+        assert np.array_equal(out, [4.0, 4.0, 4.0])
+
+    def test_empty_groups(self):
+        vals = np.array([2.0, 3.0])
+        indptr = np.array([0, 0, 2, 2])
+        out = othermax_grouped(vals, indptr)
+        assert np.array_equal(out, [3.0, 2.0])
+
+    def test_empty_values(self):
+        out = othermax_grouped(np.array([]), np.array([0]))
+        assert len(out) == 0
+
+    def test_bad_indptr(self):
+        with pytest.raises(DimensionError):
+            othermax_grouped(np.array([1.0]), np.array([0, 5]))
+
+    def test_out_param(self):
+        vals = np.array([1.0, 2.0])
+        out = np.empty(2)
+        res = othermax_grouped(vals, np.array([0, 2]), out=out)
+        assert res is out
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_matches_bruteforce(self, seed):
+        rng = np.random.default_rng(seed)
+        n_groups = int(rng.integers(1, 6))
+        sizes = rng.integers(0, 5, n_groups)
+        indptr = np.concatenate([[0], np.cumsum(sizes)])
+        n = int(indptr[-1])
+        vals = rng.uniform(-5, 5, n)
+        groups = np.repeat(np.arange(n_groups), sizes)
+        got = othermax_grouped(vals, indptr)
+        assert np.allclose(got, brute_othermax(vals, groups))
+
+
+class TestRowCol:
+    def test_row_matches_definition(self, rng):
+        for _ in range(10):
+            g = random_bipartite(rng)
+            vals = rng.normal(size=g.n_edges)
+            got = othermax_row(g, vals)
+            want = brute_othermax(vals, g.edge_a.tolist())
+            assert np.allclose(got, want)
+
+    def test_col_matches_definition(self, rng):
+        for _ in range(10):
+            g = random_bipartite(rng)
+            vals = rng.normal(size=g.n_edges)
+            got = othermax_col(g, vals)
+            want = brute_othermax(vals, g.edge_b.tolist())
+            assert np.allclose(got, want)
+
+    def test_col_scratch_buffer(self, rng):
+        g = random_bipartite(rng)
+        vals = rng.normal(size=g.n_edges)
+        scratch = np.empty(g.n_edges)
+        out = np.empty(g.n_edges)
+        got = othermax_col(g, vals, out=out, scratch=scratch)
+        assert got is out
+        assert np.allclose(got, brute_othermax(vals, g.edge_b.tolist()))
+
+    def test_wrong_length(self, rng):
+        g = random_bipartite(rng)
+        with pytest.raises(DimensionError):
+            othermax_row(g, np.zeros(g.n_edges + 1))
+        with pytest.raises(DimensionError):
+            othermax_col(g, np.zeros(g.n_edges + 1))

@@ -1,0 +1,90 @@
+"""Tests for the transpose-permutation trick (repro.sparse.permutation)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.sparse.build import coo_to_csr
+from repro.sparse.permutation import (
+    check_structural_symmetry,
+    transpose_permutation,
+)
+
+
+def _sym_random(n: int, density: float, seed: int):
+    a = sp.random(n, n, density=density, random_state=seed)
+    a = (a + a.T).tocsr()
+    a.sort_indices()
+    coo = a.tocoo()
+    return a, coo_to_csr(coo.row, coo.col, coo.data, (n, n))
+
+
+class TestTransposePermutation:
+    def test_identity_matrix(self):
+        m = coo_to_csr([0, 1], [0, 1], [1.0, 2.0], (2, 2))
+        perm = transpose_permutation(m)
+        assert np.array_equal(perm, [0, 1])
+
+    def test_2x2_swap(self):
+        m = coo_to_csr([0, 1], [1, 0], [5.0, 7.0], (2, 2))
+        perm = transpose_permutation(m)
+        assert np.array_equal(m.data[perm], [7.0, 5.0])
+
+    def test_empty(self):
+        m = coo_to_csr([], [], [], (3, 3))
+        assert len(transpose_permutation(m)) == 0
+
+    def test_non_square_rejected(self):
+        m = coo_to_csr([0], [0], [1.0], (1, 2))
+        with pytest.raises(ValidationError):
+            transpose_permutation(m)
+
+    def test_asymmetric_structure_rejected(self):
+        m = coo_to_csr([0], [1], [1.0], (2, 2))
+        with pytest.raises(ValidationError):
+            transpose_permutation(m)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(1, 15),
+        density=st.floats(0.05, 0.6),
+        seed=st.integers(0, 10_000),
+    )
+    def test_matches_scipy_transpose(self, n, density, seed):
+        scipy_m, ours = _sym_random(n, density, seed)
+        perm = transpose_permutation(ours)
+        t = scipy_m.T.tocsr()
+        t.sort_indices()
+        assert np.allclose(ours.data[perm], t.data)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(1, 15),
+        density=st.floats(0.05, 0.6),
+        seed=st.integers(0, 10_000),
+    )
+    def test_is_involution(self, n, density, seed):
+        _, ours = _sym_random(n, density, seed)
+        perm = transpose_permutation(ours)
+        assert np.array_equal(perm[perm], np.arange(len(perm)))
+
+
+class TestStructuralSymmetry:
+    def test_symmetric(self):
+        _, m = _sym_random(8, 0.3, 1)
+        assert check_structural_symmetry(m)
+
+    def test_asymmetric(self):
+        m = coo_to_csr([0], [1], [1.0], (2, 2))
+        assert not check_structural_symmetry(m)
+
+    def test_non_square(self):
+        m = coo_to_csr([0], [0], [1.0], (1, 2))
+        assert not check_structural_symmetry(m)
+
+    def test_structurally_symmetric_with_asymmetric_values(self):
+        m = coo_to_csr([0, 1], [1, 0], [1.0, 99.0], (2, 2))
+        assert check_structural_symmetry(m)

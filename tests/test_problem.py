@@ -1,0 +1,105 @@
+"""Tests for NetworkAlignmentProblem and objective helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import NetworkAlignmentProblem
+from repro.core.objective import (
+    alignment_objective,
+    overlap_count,
+    overlap_pairs,
+)
+from repro.errors import ConfigurationError, DimensionError
+from repro.graph import Graph
+from repro.matching import max_weight_matching
+from repro.sparse.bipartite import BipartiteGraph
+
+
+def square_problem() -> NetworkAlignmentProblem:
+    """Two identical triangles with the identity candidate set."""
+    a = Graph.from_edges(3, [0, 1, 0], [1, 2, 2])
+    b = Graph.from_edges(3, [0, 1, 0], [1, 2, 2])
+    ell = BipartiteGraph.from_edges(
+        3, 3, [0, 1, 2, 0], [0, 1, 2, 1], [1.0, 1.0, 1.0, 0.5]
+    )
+    return NetworkAlignmentProblem(a, b, ell, alpha=1.0, beta=2.0, name="tri")
+
+
+class TestProblem:
+    def test_dimension_check(self):
+        a = Graph.from_edges(3, [0], [1])
+        b = Graph.from_edges(2, [0], [1])
+        ell = BipartiteGraph.from_edges(3, 3, [0], [0], [1.0])
+        with pytest.raises(DimensionError):
+            NetworkAlignmentProblem(a, b, ell)
+
+    def test_negative_alpha_rejected(self):
+        p = square_problem()
+        with pytest.raises(ConfigurationError):
+            NetworkAlignmentProblem(p.a_graph, p.b_graph, p.ell, alpha=-1)
+
+    def test_squares_cached(self):
+        p = square_problem()
+        assert p.squares is p.squares
+
+    def test_transpose_perm_cached(self):
+        p = square_problem()
+        assert p.squares_transpose_perm is p.squares_transpose_perm
+
+    @staticmethod
+    def _identity_indicator(p):
+        ids = np.arange(3)
+        eids = p.ell.lookup_edges(ids, ids)
+        x = np.zeros(p.n_edges_l)
+        x[eids] = 1.0
+        return x
+
+    def test_identity_alignment_objective(self):
+        p = square_problem()
+        x = self._identity_indicator(p)
+        # weight 3, overlaps = 3 (triangle edges), objective 3 + 2*3 = 9
+        obj, w, ov = p.objective_parts(x)
+        assert w == 3.0
+        assert ov == 3.0
+        assert obj == 9.0
+        assert p.objective(x) == 9.0
+
+    def test_overlap_matches_pair_count(self):
+        p = square_problem()
+        res = max_weight_matching(p.ell)
+        x = res.indicator(p.n_edges_l)
+        quadratic = p.overlap(x)
+        combinatorial = overlap_pairs(p.squares, res.edge_ids)
+        assert quadratic == combinatorial
+
+    def test_stats(self):
+        st = square_problem().stats()
+        assert st.name == "tri"
+        assert st.n_a == 3 and st.n_b == 3
+        assert st.n_edges_l == 4
+        assert "tri" in st.as_row()
+
+    def test_with_objective_shares_squares(self):
+        p = square_problem()
+        _ = p.squares
+        q = p.with_objective(0.5, 4.0)
+        assert q._squares is p._squares
+        assert q.alpha == 0.5 and q.beta == 4.0
+
+    def test_with_objective_changes_value(self):
+        p = square_problem()
+        q = p.with_objective(2.0, 0.0)
+        x = self._identity_indicator(p)
+        assert q.objective(x) == 6.0
+
+
+class TestObjectiveHelpers:
+    def test_alignment_objective_free_function(self):
+        p = square_problem()
+        x = TestProblem._identity_indicator(p)
+        assert alignment_objective(p.weights, p.squares, x, 1.0, 2.0) == 9.0
+
+    def test_overlap_count_fractional(self):
+        p = square_problem()
+        x = np.full(4, 0.5)
+        assert overlap_count(p.squares, x) >= 0.0

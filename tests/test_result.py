@@ -1,0 +1,79 @@
+"""Tests for AlignmentResult / IterationRecord containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import AlignmentResult, BestTracker, IterationRecord
+from repro.matching.result import MatchingResult
+
+
+def _dummy_matching() -> MatchingResult:
+    return MatchingResult(
+        mate_a=np.array([0, -1]),
+        mate_b=np.array([0]),
+        edge_ids=np.array([0]),
+        weight=1.0,
+    )
+
+
+def _record(i: int, obj: float, upper: float = float("nan")) -> IterationRecord:
+    return IterationRecord(
+        iteration=i, objective=obj, weight_part=obj, overlap_part=0.0,
+        upper_bound=upper, source="y", gamma=0.99,
+    )
+
+
+class TestAlignmentResult:
+    def test_traces(self):
+        res = AlignmentResult(
+            _dummy_matching(), 2.0, 2.0, 0.0, float("inf"),
+            [_record(1, 1.0), _record(2, 2.0)],
+        )
+        assert np.array_equal(res.objective_trace(), [1.0, 2.0])
+        assert res.iterations == 2
+
+    def test_upper_trace_nan_for_bp(self):
+        res = AlignmentResult(
+            _dummy_matching(), 1.0, 1.0, 0.0, float("inf"), [_record(1, 1.0)]
+        )
+        assert np.isnan(res.upper_bound_trace()).all()
+
+    def test_summary_fields(self):
+        res = AlignmentResult(
+            _dummy_matching(), 2.5, 1.5, 0.5, float("inf"),
+            [_record(1, 2.5)], method="bp[test]",
+        )
+        text = res.summary()
+        assert "bp[test]" in text
+        assert "objective=2.5" in text
+        assert "|M|=1" in text
+
+    def test_empty_history(self):
+        res = AlignmentResult(
+            _dummy_matching(), 0.0, 0.0, 0.0, float("inf"), []
+        )
+        assert res.iterations == 0
+        assert len(res.objective_trace()) == 0
+
+
+class TestBestTracker:
+    def test_initial_state(self):
+        t = BestTracker()
+        assert t.best_objective == -np.inf
+        assert t.best_matching is None
+        assert t.best_vector is None
+
+    def test_strictly_better_required(self):
+        t = BestTracker()
+        m = _dummy_matching()
+        assert t.offer(1.0, 1.0, 0.0, m, np.zeros(2), "a", 1)
+        # Equal objective does not replace (keeps the earliest winner).
+        assert not t.offer(1.0, 1.0, 0.0, m, np.ones(2), "b", 2)
+        assert t.best_source == "a"
+
+    def test_vector_snapshot_isolated(self):
+        t = BestTracker()
+        vec = np.array([1.0, 2.0])
+        t.offer(1.0, 1.0, 0.0, _dummy_matching(), vec, "a", 1)
+        vec[0] = 99.0
+        assert t.best_vector[0] == 1.0

@@ -1,0 +1,81 @@
+"""Tests for the rounding oracle and best-tracking (repro.core.rounding)."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import BestTracker
+from repro.core.rounding import MATCHER_KINDS, make_matcher, round_heuristic
+from repro.errors import ConfigurationError
+
+from tests.helpers import random_bipartite
+
+
+class TestMakeMatcher:
+    @pytest.mark.parametrize("kind", MATCHER_KINDS)
+    def test_all_kinds_work(self, kind, rng):
+        g = random_bipartite(rng)
+        matcher = make_matcher(kind)
+        res = matcher(g, g.weights)
+        assert res.weight >= 0
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_matcher("quantum")
+
+    def test_exact_dominates_approx(self, rng):
+        for _ in range(15):
+            g = random_bipartite(rng)
+            w = rng.normal(1.0, 2.0, g.n_edges)
+            exact = make_matcher("exact")(g, w)
+            approx = make_matcher("approx")(g, w)
+            assert exact.weight >= approx.weight - 1e-9
+            assert approx.weight >= 0.5 * exact.weight - 1e-9
+
+
+class TestRoundHeuristic:
+    def test_returns_parts(self, small_instance):
+        p = small_instance.problem
+        g_vec = p.weights.copy()
+        obj, wp, op, matching = round_heuristic(p, g_vec, "exact")
+        assert np.isclose(obj, p.alpha * wp + p.beta * op)
+
+    def test_matcher_by_name_or_callable(self, small_instance):
+        p = small_instance.problem
+        by_name = round_heuristic(p, p.weights, "exact")
+        by_callable = round_heuristic(p, p.weights, make_matcher("exact"))
+        assert np.isclose(by_name[0], by_callable[0])
+
+    def test_tracker_keeps_best(self, small_instance):
+        p = small_instance.problem
+        tracker = BestTracker()
+        rng = np.random.default_rng(0)
+        objs = []
+        for i in range(5):
+            g_vec = p.weights + rng.normal(0, 0.3, p.n_edges_l)
+            obj, *_ = round_heuristic(
+                p, g_vec, "exact", tracker, source=f"g{i}", iteration=i
+            )
+            objs.append(obj)
+        assert np.isclose(tracker.best_objective, max(objs))
+        assert tracker.best_vector is not None
+
+    def test_tracker_best_vector_is_copy(self, small_instance):
+        p = small_instance.problem
+        tracker = BestTracker()
+        g_vec = p.weights.copy()
+        round_heuristic(p, g_vec, "exact", tracker)
+        g_vec[:] = -1
+        assert np.all(tracker.best_vector >= 0)
+
+    def test_tracker_offer_ordering(self):
+        tracker = BestTracker()
+        from repro.matching.result import MatchingResult
+
+        dummy = MatchingResult(
+            mate_a=np.array([-1]), mate_b=np.array([-1]),
+            edge_ids=np.array([], dtype=int), weight=0.0,
+        )
+        assert tracker.offer(1.0, 1.0, 0.0, dummy, np.zeros(1), "a", 1)
+        assert not tracker.offer(0.5, 0.5, 0.0, dummy, np.zeros(1), "b", 2)
+        assert tracker.best_source == "a"
+        assert tracker.best_iteration == 1

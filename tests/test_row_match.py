@@ -1,0 +1,129 @@
+"""Tests for Klau Step-1's vectorized row matcher (repro.core.row_match)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.row_match import RowMatcher, _solve_conflicts
+from repro.generators import powerlaw_alignment_instance
+from repro.matching.exact_small import small_max_weight_matching
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return powerlaw_alignment_instance(
+        n=80, expected_degree=6.0, seed=3
+    ).problem
+
+
+class TestRowMatcher:
+    def test_categories_cover_all_rows(self, problem):
+        rm = RowMatcher(problem.squares, problem.ell)
+        counts = rm.category_counts()
+        nonempty = int((np.diff(problem.squares.indptr) > 0).sum())
+        assert sum(counts.values()) == nonempty
+        assert rm.n_solved_rows == nonempty
+
+    def test_matches_per_row_exact(self, problem, rng):
+        s = problem.squares
+        rm = RowMatcher(s, problem.ell)
+        sub_a = problem.ell.edge_a[s.indices]
+        sub_b = problem.ell.edge_b[s.indices]
+        for trial in range(3):
+            mv = rng.normal(0.4, 1.0, s.nnz)
+            d = np.zeros(s.n_rows)
+            sl = np.zeros(s.nnz)
+            rm.solve(mv, d, sl)
+            for e in range(s.n_rows):
+                lo, hi = int(s.indptr[e]), int(s.indptr[e + 1])
+                if lo == hi:
+                    assert d[e] == 0.0
+                    continue
+                val, _ = small_max_weight_matching(
+                    sub_a[lo:hi], sub_b[lo:hi], mv[lo:hi]
+                )
+                assert abs(val - d[e]) < 1e-9
+                sel = sl[lo:hi] > 0
+                assert abs(mv[lo:hi][sel].sum() - d[e]) < 1e-9
+                aa, bb = sub_a[lo:hi][sel], sub_b[lo:hi][sel]
+                assert len(set(aa.tolist())) == len(aa)
+                assert len(set(bb.tolist())) == len(bb)
+
+    def test_all_equal_weights(self, problem):
+        """The all-β/2 first iteration must not blow up or err."""
+        s = problem.squares
+        rm = RowMatcher(s, problem.ell)
+        mv = np.ones(s.nnz)
+        d = np.zeros(s.n_rows)
+        sl = np.zeros(s.nnz)
+        rm.solve(mv, d, sl)
+        # Every selected entry is positive; d equals selected counts.
+        rows = s.row_of_nonzero()
+        for e in np.unique(rows):
+            sel = sl[s.indptr[e] : s.indptr[e + 1]]
+            assert d[e] == sel.sum()
+
+    def test_all_negative_selects_nothing(self, problem):
+        s = problem.squares
+        rm = RowMatcher(s, problem.ell)
+        d = np.zeros(s.n_rows)
+        sl = np.zeros(s.nnz)
+        rm.solve(-np.ones(s.nnz), d, sl)
+        assert not d.any()
+        assert not sl.any()
+
+    def test_empty_squares(self):
+        from repro.core.squares import build_squares
+        from repro.graph import Graph
+        from repro.sparse.bipartite import BipartiteGraph
+
+        a = Graph.from_edges(2, [], [])
+        b = Graph.from_edges(2, [0], [1])
+        ell = BipartiteGraph.from_edges(2, 2, [0, 1], [0, 1], [1.0, 1.0])
+        s = build_squares(a, b, ell)
+        rm = RowMatcher(s, ell)
+        d = np.zeros(s.n_rows)
+        sl = np.zeros(s.nnz)
+        rm.solve(np.zeros(s.nnz), d, sl)
+        assert rm.n_solved_rows == 0
+
+
+class TestSolveConflicts:
+    def test_empty(self):
+        assert _solve_conflicts([], []) == (0.0, [])
+
+    def test_all_negative(self):
+        val, picked = _solve_conflicts([-1.0, -2.0], [0, 0])
+        assert val == 0.0 and picked == []
+
+    def test_no_conflicts(self):
+        val, picked = _solve_conflicts([1.0, 2.0], [0, 0])
+        assert val == 3.0 and sorted(picked) == [0, 1]
+
+    def test_full_conflict(self):
+        val, picked = _solve_conflicts([1.0, 2.0], [2, 1])
+        assert val == 2.0 and picked == [1]
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_matches_reference(self, seed):
+        """Property: B&B equals the generic small matcher, incl. ties."""
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(1, 11))
+        a = rng.integers(0, 4, k)
+        b = rng.integers(0, 4, k)
+        vals = rng.uniform(-1, 3, k)
+        if seed % 2:
+            vals = np.round(vals, 1)  # provoke ties
+        masks = []
+        for i in range(k):
+            m = 0
+            for j in range(k):
+                if i != j and (a[i] == a[j] or b[i] == b[j]):
+                    m |= 1 << j
+            masks.append(m)
+        val, picked = _solve_conflicts(vals.tolist(), masks)
+        ref, _ = small_max_weight_matching(a, b, vals)
+        assert abs(val - ref) < 1e-9
+        assert abs(sum(vals[i] for i in picked) - val) < 1e-9

@@ -1,0 +1,93 @@
+"""Round-trip tests for trace serialization (repro.machine.serialize)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import capture_traces
+from repro.errors import TraceError
+from repro.machine import SimulatedRuntime, xeon_e7_8870
+from repro.machine.serialize import (
+    load_traces,
+    save_traces,
+    traces_from_json,
+    traces_to_json,
+)
+from repro.machine.trace import (
+    IterationTrace,
+    LoopTrace,
+    RoundedLoopTrace,
+    SerialTrace,
+    StepTrace,
+    TaskGroupTrace,
+)
+
+
+def sample_iteration() -> IterationTrace:
+    loop = LoopTrace("a", n_items=4, costs=np.array([1.0, 2.0, 3.0, 4.0]),
+                     uniform_bytes=8.0, random_frac=0.3)
+    rounded = RoundedLoopTrace(
+        "m",
+        (LoopTrace("r0", n_items=2, uniform_cost=1.0, uniform_bytes=4.0),),
+        (6,),
+    )
+    group = TaskGroupTrace("g", (rounded,))
+    return IterationTrace(
+        steps=[
+            StepTrace("a", [loop]),
+            StepTrace("s", [SerialTrace("s", 5.0, 2.0)]),
+            StepTrace("g", [group]),
+        ]
+    )
+
+
+class TestRoundTrip:
+    def test_json_roundtrip_structure(self):
+        its = [sample_iteration(), sample_iteration()]
+        back = traces_from_json(traces_to_json(its))
+        assert len(back) == 2
+        assert back[0].step_names() == ["a", "s", "g"]
+        loop = back[0].steps[0].items[0]
+        assert np.array_equal(loop.costs, [1.0, 2.0, 3.0, 4.0])
+        assert loop.random_frac == 0.3
+        group = back[0].steps[2].items[0]
+        assert isinstance(group, TaskGroupTrace)
+        assert group.tasks[0].atomics_per_round == (6,)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "traces.json")
+        save_traces(path, [sample_iteration()])
+        back = load_traces(path)
+        assert back[0].step_names() == ["a", "s", "g"]
+
+    def test_simulated_times_identical(self, small_instance, tmp_path):
+        """The reproducibility contract: saved traces simulate exactly
+        like the originals."""
+        traces = capture_traces(small_instance.problem, "bp", n_iter=3)
+        path = str(tmp_path / "bp.json")
+        save_traces(path, traces)
+        back = load_traces(path)
+        rt = SimulatedRuntime(xeon_e7_8870(), 8)
+        for a, b in zip(traces, back):
+            ta = rt.iteration_timing(a)
+            tb = rt.iteration_timing(b)
+            assert ta.total == pytest.approx(tb.total, rel=1e-12)
+            assert ta.per_step.keys() == tb.per_step.keys()
+
+    def test_rejects_foreign_document(self):
+        with pytest.raises(TraceError):
+            traces_from_json('{"format": "something-else"}')
+
+    def test_rejects_future_version(self):
+        with pytest.raises(TraceError):
+            traces_from_json(
+                '{"format": "netalign-mc-traces", "version": 99, '
+                '"iterations": []}'
+            )
+
+    def test_unknown_kind_rejected(self):
+        doc = (
+            '{"format": "netalign-mc-traces", "version": 1, "iterations": '
+            '[{"steps": [{"name": "x", "items": [{"kind": "quantum"}]}]}]}'
+        )
+        with pytest.raises(TraceError):
+            traces_from_json(doc)

@@ -1,0 +1,94 @@
+"""Unit and property tests for repro.sparse.build.coo_to_csr."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DimensionError, ValidationError
+from repro.sparse.build import coo_to_csr
+
+
+class TestBasics:
+    def test_simple(self):
+        m = coo_to_csr([0, 1, 0], [2, 0, 1], [1.0, 2.0, 3.0], (2, 3))
+        expected = np.array([[0, 3, 1], [2, 0, 0]], dtype=float)
+        assert np.array_equal(m.to_dense(), expected)
+
+    def test_scalar_value_broadcast(self):
+        m = coo_to_csr([0, 1], [0, 1], 5.0, (2, 2))
+        assert np.array_equal(m.data, [5.0, 5.0])
+
+    def test_empty(self):
+        m = coo_to_csr([], [], [], (3, 4))
+        assert m.nnz == 0
+        assert m.shape == (3, 4)
+
+    def test_unsorted_input(self):
+        m = coo_to_csr([1, 0], [0, 0], [1.0, 2.0], (2, 1))
+        assert np.array_equal(m.to_dense(), [[2.0], [1.0]])
+
+    def test_row_out_of_range(self):
+        with pytest.raises(ValidationError):
+            coo_to_csr([5], [0], [1.0], (2, 2))
+
+    def test_col_out_of_range(self):
+        with pytest.raises(ValidationError):
+            coo_to_csr([0], [9], [1.0], (2, 2))
+
+    def test_length_mismatch(self):
+        with pytest.raises(DimensionError):
+            coo_to_csr([0, 1], [0, 1], [1.0], (2, 2))
+
+
+class TestDedup:
+    def test_sum(self):
+        m = coo_to_csr([0, 0], [1, 1], [2.0, 3.0], (1, 2), dedup="sum")
+        assert np.array_equal(m.data, [5.0])
+
+    def test_max(self):
+        m = coo_to_csr([0, 0], [1, 1], [2.0, 3.0], (1, 2), dedup="max")
+        assert np.array_equal(m.data, [3.0])
+
+    def test_first_keeps_input_order(self):
+        m = coo_to_csr([0, 0], [1, 1], [2.0, 3.0], (1, 2), dedup="first")
+        assert np.array_equal(m.data, [2.0])
+
+    def test_error_policy(self):
+        with pytest.raises(ValidationError):
+            coo_to_csr([0, 0], [1, 1], [1.0, 1.0], (1, 2), dedup="error")
+
+    def test_error_policy_passes_without_duplicates(self):
+        m = coo_to_csr([0, 0], [0, 1], [1.0, 1.0], (1, 2), dedup="error")
+        assert m.nnz == 2
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValidationError):
+            coo_to_csr([0, 0], [1, 1], [1.0, 1.0], (1, 2), dedup="median")
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_matches_scipy_with_sum_dedup(data):
+    """Property: coo_to_csr(dedup='sum') equals scipy's COO→dense."""
+    n_rows = data.draw(st.integers(1, 8))
+    n_cols = data.draw(st.integers(1, 8))
+    m = data.draw(st.integers(0, 30))
+    rows = data.draw(
+        st.lists(st.integers(0, n_rows - 1), min_size=m, max_size=m)
+    )
+    cols = data.draw(
+        st.lists(st.integers(0, n_cols - 1), min_size=m, max_size=m)
+    )
+    vals = data.draw(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False), min_size=m, max_size=m
+        )
+    )
+    ours = coo_to_csr(rows, cols, vals, (n_rows, n_cols), dedup="sum")
+    theirs = sp.coo_matrix(
+        (vals, (rows, cols)), shape=(n_rows, n_cols)
+    ).toarray()
+    assert np.allclose(ours.to_dense(), theirs)
+    ours.validate()

@@ -1,0 +1,118 @@
+"""Tests for the squares matrix S construction (repro.core.squares)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.squares import build_squares, count_squares_bruteforce
+from repro.errors import DimensionError
+from repro.graph import Graph
+from repro.sparse.bipartite import BipartiteGraph
+from repro.sparse.permutation import check_structural_symmetry
+
+
+def _random_problem(rng, n_a=6, n_b=6, p_edge=0.3, p_l=0.4):
+    def rand_graph(n):
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        chosen = [p for p in pairs if rng.random() < p_edge]
+        if chosen:
+            u, v = zip(*chosen)
+        else:
+            u, v = [], []
+        return Graph.from_edges(n, np.array(u, dtype=int), np.array(v, dtype=int))
+
+    a = rand_graph(n_a)
+    b = rand_graph(n_b)
+    ea, eb = [], []
+    for i in range(n_a):
+        for j in range(n_b):
+            if rng.random() < p_l:
+                ea.append(i)
+                eb.append(j)
+    ell = BipartiteGraph.from_edges(
+        n_a, n_b, np.array(ea, dtype=int), np.array(eb, dtype=int),
+        rng.random(len(ea)),
+    )
+    return a, b, ell
+
+
+class TestSmallCases:
+    def test_single_square(self):
+        a = Graph.from_edges(2, [0], [1])
+        b = Graph.from_edges(2, [0], [1])
+        ell = BipartiteGraph.from_edges(2, 2, [0, 1], [0, 1], [1.0, 1.0])
+        s = build_squares(a, b, ell)
+        # edges (0,0) and (1,1) overlap: S has the symmetric pair.
+        assert s.nnz == 2
+        assert s.to_dense()[0, 1] == 1 and s.to_dense()[1, 0] == 1
+
+    def test_no_squares_without_b_edge(self):
+        a = Graph.from_edges(2, [0], [1])
+        b = Graph.from_edges(2, [], [])
+        ell = BipartiteGraph.from_edges(2, 2, [0, 1], [0, 1], [1.0, 1.0])
+        assert build_squares(a, b, ell).nnz == 0
+
+    def test_empty_l(self):
+        a = Graph.from_edges(2, [0], [1])
+        b = Graph.from_edges(2, [0], [1])
+        ell = BipartiteGraph.from_edges(2, 2, [], [], [])
+        s = build_squares(a, b, ell)
+        assert s.shape == (0, 0)
+
+    def test_dimension_mismatch(self):
+        a = Graph.from_edges(2, [0], [1])
+        b = Graph.from_edges(3, [0], [1])
+        ell = BipartiteGraph.from_edges(2, 2, [0], [0], [1.0])
+        with pytest.raises(DimensionError):
+            build_squares(a, b, ell)
+
+    def test_values_are_ones(self, rng):
+        a, b, ell = _random_problem(rng)
+        s = build_squares(a, b, ell)
+        if s.nnz:
+            assert np.all(s.data == 1.0)
+
+    def test_no_diagonal(self, rng):
+        """An L edge never overlaps with itself (simple graphs)."""
+        for _ in range(5):
+            a, b, ell = _random_problem(rng)
+            s = build_squares(a, b, ell)
+            assert not np.any(s.row_of_nonzero() == s.indices)
+
+
+class TestChunking:
+    def test_chunk_size_invariance(self, rng):
+        a, b, ell = _random_problem(rng, n_a=8, n_b=8)
+        full = build_squares(a, b, ell)
+        tiny_chunks = build_squares(a, b, ell, chunk_pairs=4)
+        assert full.same_structure(tiny_chunks)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10**6))
+def test_matches_bruteforce(seed):
+    """Property: vectorized construction equals the O(m²) definition."""
+    rng = np.random.default_rng(seed)
+    a, b, ell = _random_problem(rng, n_a=5, n_b=5)
+    s = build_squares(a, b, ell)
+    assert s.nnz == count_squares_bruteforce(a, b, ell)
+    # Entry-level check against the definition.
+    dense = s.to_dense()
+    for e in range(ell.n_edges):
+        for f in range(ell.n_edges):
+            expected = float(
+                a.has_edge(int(ell.edge_a[e]), int(ell.edge_a[f]))
+                and b.has_edge(int(ell.edge_b[e]), int(ell.edge_b[f]))
+            )
+            assert dense[e, f] == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10**6))
+def test_structurally_symmetric(seed):
+    """Property: S is structurally symmetric (undirected A, B)."""
+    rng = np.random.default_rng(seed)
+    a, b, ell = _random_problem(rng)
+    s = build_squares(a, b, ell)
+    assert check_structural_symmetry(s)

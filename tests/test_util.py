@@ -1,0 +1,94 @@
+"""Tests for repro._util and repro.errors."""
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    as_rng,
+    asarray_f64,
+    asarray_i64,
+    check_same_length,
+    counting_sort_pairs,
+)
+from repro.errors import (
+    ConfigurationError,
+    DimensionError,
+    NotAMatchingError,
+    ReproError,
+    TraceError,
+    ValidationError,
+)
+
+
+class TestRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        assert as_rng(7).integers(1000) == as_rng(7).integers(1000)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_rng(g) is g
+
+
+class TestArrayCoercion:
+    def test_i64(self):
+        out = asarray_i64([1, 2, 3])
+        assert out.dtype == np.int64
+
+    def test_f64(self):
+        out = asarray_f64([1, 2])
+        assert out.dtype == np.float64
+
+    def test_no_copy_when_already_canonical(self):
+        arr = np.array([1, 2], dtype=np.int64)
+        assert asarray_i64(arr) is arr
+
+
+class TestSameLength:
+    def test_ok(self):
+        assert check_same_length([1, 2], [3, 4]) == 2
+
+    def test_empty_args(self):
+        assert check_same_length() == 0
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError):
+            check_same_length([1], [1, 2])
+
+
+class TestCountingSort:
+    def test_sorts_lexicographically(self):
+        primary = np.array([2, 0, 2, 0])
+        secondary = np.array([1, 5, 0, 2])
+        order = counting_sort_pairs(primary, secondary, 3)
+        pairs = list(zip(primary[order].tolist(), secondary[order].tolist()))
+        assert pairs == sorted(pairs)
+
+    def test_stability(self):
+        primary = np.array([1, 1, 1])
+        secondary = np.array([0, 0, 0])
+        order = counting_sort_pairs(primary, secondary, 2)
+        assert list(order) == [0, 1, 2]
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [DimensionError, ValidationError, NotAMatchingError,
+         ConfigurationError, TraceError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_not_a_matching_is_validation(self):
+        assert issubclass(NotAMatchingError, ValidationError)
+
+    def test_value_error_compatibility(self):
+        """Callers using plain ValueError still catch our errors."""
+        assert issubclass(DimensionError, ValueError)
+        assert issubclass(ValidationError, ValueError)
+
+    def test_trace_error_is_runtime(self):
+        assert issubclass(TraceError, RuntimeError)
