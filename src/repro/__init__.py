@@ -40,6 +40,7 @@ from repro.generators import (
     powerlaw_alignment_instance,
     powerlaw_graph,
 )
+from repro import observe
 from repro.graph import Graph
 from repro.machine import SimulatedRuntime, xeon_e7_8870
 from repro.matching import (
@@ -77,6 +78,7 @@ __all__ = [
     "locally_dominant_matching_vectorized",
     "lp_relaxation_align",
     "max_weight_matching",
+    "observe",
     "ontology_instance",
     "powerlaw_alignment_instance",
     "powerlaw_graph",

@@ -301,6 +301,25 @@ def build_parser() -> argparse.ArgumentParser:
         prog="netalign-mc",
         description="Regenerate the SC 2012 netalign-mc experiments.",
     )
+    obs = parser.add_argument_group(
+        "observability",
+        "Attach repro.observe sinks for the whole invocation "
+        "(docs/observability.md documents the event schema).",
+    )
+    obs.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="capture the full event stream (iterations, rounding, "
+             "matching, simulator replay) to this JSONL file",
+    )
+    obs.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the final metrics-registry snapshot (counters, "
+             "gauges, histograms) to this JSON file",
+    )
+    obs.add_argument(
+        "--live", action="store_true",
+        help="print a live event report to stderr while running",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("table2", help="problem-size table")
@@ -396,11 +415,51 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _setup_observability(args: argparse.Namespace) -> list:
+    """Attach the sinks requested by the global flags; return them."""
+    from repro.observe import ConsoleSink, JSONLSink, get_bus
+
+    bus = get_bus()
+    sinks = []
+    if args.trace_out:
+        sinks.append(bus.add_sink(JSONLSink(args.trace_out)))
+    if args.live:
+        sinks.append(bus.add_sink(ConsoleSink()))
+    return sinks
+
+
+def _teardown_observability(args: argparse.Namespace, sinks: list) -> None:
+    """Detach sinks and write the metrics snapshot if requested."""
+    import json
+
+    from repro.observe import get_bus
+
+    bus = get_bus()
+    for sink in sinks:
+        bus.remove_sink(sink)
+        sink.close()
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(bus.metrics.snapshot(), fh, indent=2)
+        print(f"metrics snapshot written to {args.metrics_out}")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.func(args)
+    if args.metrics_out and not (args.trace_out or args.live):
+        # Metrics updates ride the same active-bus guard as events; a
+        # metrics-only capture still needs the bus switched on.
+        from repro.observe import NullSink, get_bus
+
+        sinks = [get_bus().add_sink(NullSink())]
+    else:
+        sinks = _setup_observability(args)
+    try:
+        args.func(args)
+    finally:
+        _teardown_observability(args, sinks)
     return 0
 
 

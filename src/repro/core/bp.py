@@ -29,6 +29,7 @@ from repro.core.problem import NetworkAlignmentProblem
 from repro.core.result import AlignmentResult, BestTracker, IterationRecord
 from repro.core.rounding import Matcher, make_matcher, round_heuristic
 from repro.errors import ConfigurationError
+from repro.observe import get_bus
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ops import row_sums
 
@@ -76,9 +77,27 @@ def belief_propagation_align(
     """Run the BP message-passing method on ``problem``.
 
     ``tracer`` optionally records per-step work traces (see
-    :mod:`repro.machine.trace`) for the scaling study.
+    :mod:`repro.machine.trace`) for the scaling study.  When the
+    :mod:`repro.observe` bus has sinks attached, the run is wrapped in a
+    ``bp.align`` span and emits one ``iteration`` event per iteration
+    (plus ``rounding``/``matching`` events from the rounding layer).
     """
     config = config or BPConfig()
+    bus = get_bus()
+    with bus.trace(
+        "bp.align", matcher=config.matcher, n_iter=config.n_iter,
+        batch=config.batch, damping=config.damping,
+    ):
+        return _bp_run(problem, config, tracer, bus)
+
+
+def _bp_run(
+    problem: NetworkAlignmentProblem,
+    config: BPConfig,
+    tracer: Any | None,
+    bus,
+) -> AlignmentResult:
+    """The BP iteration body (Listing 2)."""
     matcher: Matcher = make_matcher(config.matcher)
     ell = problem.ell
     s_mat = problem.squares
@@ -145,6 +164,24 @@ def belief_propagation_align(
                     gamma=config.gamma,
                 )
             )
+            if bus.active:
+                bus.emit(
+                    "iteration",
+                    method="bp",
+                    iteration=it,
+                    objective=obj,
+                    weight_part=wp,
+                    overlap_part=op,
+                    upper_bound=float("nan"),
+                    source=src,
+                    gamma=config.gamma,
+                )
+                bus.metrics.counter(
+                    "repro_solver_iterations_total", method="bp"
+                ).inc()
+                bus.metrics.gauge(
+                    "repro_best_objective", method="bp"
+                ).set(tracker.best_objective)
         pending.clear()
 
     for k in range(1, config.n_iter + 1):

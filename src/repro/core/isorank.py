@@ -25,6 +25,7 @@ from repro.core.problem import NetworkAlignmentProblem
 from repro.core.result import AlignmentResult, IterationRecord
 from repro.core.rounding import round_heuristic
 from repro.errors import ConfigurationError
+from repro.observe import get_bus
 from repro.sparse.ops import spmv
 
 __all__ = ["IsoRankConfig", "isorank_align", "isorank_scores"]
@@ -102,10 +103,12 @@ def isorank_align(
 ) -> AlignmentResult:
     """IsoRank iteration + one rounding step."""
     config = config or IsoRankConfig()
-    scores, iterations = isorank_scores(problem, config)
-    obj, weight_part, overlap_part, matching = round_heuristic(
-        problem, scores, config.matcher
-    )
+    bus = get_bus()
+    with bus.trace("isorank.align", matcher=config.matcher, mu=config.mu):
+        scores, iterations = isorank_scores(problem, config)
+        obj, weight_part, overlap_part, matching = round_heuristic(
+            problem, scores, config.matcher
+        )
     record = IterationRecord(
         iteration=iterations,
         objective=obj,
@@ -115,6 +118,21 @@ def isorank_align(
         source="isorank",
         gamma=float("nan"),
     )
+    if bus.active:
+        bus.emit(
+            "iteration",
+            method="isorank",
+            iteration=iterations,
+            objective=obj,
+            weight_part=weight_part,
+            overlap_part=overlap_part,
+            upper_bound=float("nan"),
+            source="isorank",
+            gamma=float("nan"),
+        )
+        bus.metrics.counter(
+            "repro_solver_iterations_total", method="isorank"
+        ).inc(iterations)
     return AlignmentResult(
         matching=matching,
         objective=obj,

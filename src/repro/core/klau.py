@@ -27,6 +27,7 @@ from repro.core.result import AlignmentResult, BestTracker, IterationRecord
 from repro.core.rounding import Matcher, make_matcher, round_heuristic
 from repro.core.row_match import RowMatcher
 from repro.errors import ConfigurationError
+from repro.observe import get_bus
 
 __all__ = ["KlauConfig", "klau_align"]
 
@@ -87,9 +88,27 @@ def klau_align(
     ``tracer`` is an optional duck-typed work-trace collector (see
     :class:`repro.machine.trace.AlgorithmTracer`); when given, each of the
     five steps of Listing 1 records its per-item work so the machine model
-    can replay the iteration.
+    can replay the iteration.  When the :mod:`repro.observe` bus has
+    sinks attached, the run is wrapped in a ``klau.align`` span and emits
+    one ``iteration`` event per iteration, carrying the upper bound and
+    the live step size γ.
     """
     config = config or KlauConfig()
+    bus = get_bus()
+    with bus.trace(
+        "klau.align", matcher=config.matcher, n_iter=config.n_iter,
+        step_rule=config.step_rule,
+    ):
+        return _klau_run(problem, config, tracer, bus)
+
+
+def _klau_run(
+    problem: NetworkAlignmentProblem,
+    config: KlauConfig,
+    tracer: Any | None,
+    bus,
+) -> AlignmentResult:
+    """The MR iteration body (Listing 1)."""
     matcher: Matcher = make_matcher(config.matcher)
     ell = problem.ell
     s_mat = problem.squares
@@ -202,6 +221,27 @@ def klau_align(
                 gamma=gamma,
             )
         )
+        if bus.active:
+            bus.emit(
+                "iteration",
+                method="klau-mr",
+                iteration=k,
+                objective=obj,
+                weight_part=weight_part,
+                overlap_part=overlap_part,
+                upper_bound=upper,
+                source="wbar",
+                gamma=gamma,
+            )
+            bus.metrics.counter(
+                "repro_solver_iterations_total", method="klau-mr"
+            ).inc()
+            bus.metrics.gauge(
+                "repro_best_objective", method="klau-mr"
+            ).set(tracker.best_objective)
+            bus.metrics.gauge(
+                "repro_best_upper_bound", method="klau-mr"
+            ).set(best_upper)
         if tracer is not None:
             tracer.end_iteration()
         if best_upper - tracker.best_objective <= config.gap_tolerance:

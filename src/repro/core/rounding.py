@@ -35,6 +35,7 @@ from repro.matching.locally_dominant import (
 )
 from repro.matching.result import MatchingResult
 from repro.matching.suitor import suitor_matching
+from repro.observe import get_bus
 from repro.sparse.bipartite import BipartiteGraph
 
 __all__ = ["Matcher", "make_matcher", "round_heuristic", "MATCHER_KINDS"]
@@ -54,22 +55,26 @@ MATCHER_KINDS = (
 
 
 def make_matcher(kind: str) -> Matcher:
-    """Return the ``bipartite_match`` implementation named ``kind``."""
-    if kind == "exact":
-        return lambda ell, w: max_weight_matching(ell, w)
-    if kind == "approx":
-        return lambda ell, w: locally_dominant_matching_vectorized(ell, w)
-    if kind == "approx-queue":
-        return lambda ell, w: locally_dominant_matching(ell, w)
-    if kind == "greedy":
-        return lambda ell, w: greedy_matching(ell, w)
-    if kind == "suitor":
-        return lambda ell, w: suitor_matching(ell, w)
-    if kind == "auction":
-        return lambda ell, w: auction_matching(ell, w)
-    raise ConfigurationError(
-        f"unknown matcher {kind!r}; expected one of {MATCHER_KINDS}"
-    )
+    """Return the ``bipartite_match`` implementation named ``kind``.
+
+    The returned callable carries a ``kind`` attribute so downstream
+    instrumentation (``rounding`` events) can name the oracle in use.
+    """
+    impls: dict[str, Matcher] = {
+        "exact": lambda ell, w: max_weight_matching(ell, w),
+        "approx": lambda ell, w: locally_dominant_matching_vectorized(ell, w),
+        "approx-queue": lambda ell, w: locally_dominant_matching(ell, w),
+        "greedy": lambda ell, w: greedy_matching(ell, w),
+        "suitor": lambda ell, w: suitor_matching(ell, w),
+        "auction": lambda ell, w: auction_matching(ell, w),
+    }
+    impl = impls.get(kind)
+    if impl is None:
+        raise ConfigurationError(
+            f"unknown matcher {kind!r}; expected one of {MATCHER_KINDS}"
+        )
+    impl.kind = kind  # type: ignore[attr-defined]
+    return impl
 
 
 def round_heuristic(
@@ -96,4 +101,19 @@ def round_heuristic(
         tracker.offer(
             objective, weight_part, overlap_part, matching, g, source, iteration
         )
+    bus = get_bus()
+    if bus.active:
+        kind = getattr(matcher, "kind", "custom")
+        bus.emit(
+            "rounding",
+            source=source,
+            iteration=iteration,
+            matcher=kind,
+            objective=objective,
+            weight_part=weight_part,
+            overlap_part=overlap_part,
+            cardinality=matching.cardinality,
+        )
+        bus.metrics.counter("repro_roundings_total", matcher=kind).inc()
+        bus.metrics.histogram("repro_rounding_objective").observe(objective)
     return objective, weight_part, overlap_part, matching

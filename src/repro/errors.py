@@ -14,6 +14,7 @@ __all__ = [
     "NotAMatchingError",
     "ConfigurationError",
     "TraceError",
+    "ObservabilityError",
 ]
 
 
@@ -39,3 +40,7 @@ class ConfigurationError(ReproError, ValueError):
 
 class TraceError(ReproError, RuntimeError):
     """A work trace is malformed or used inconsistently with the runtime."""
+
+
+class ObservabilityError(ReproError, RuntimeError):
+    """An event breaches the :mod:`repro.observe` schema or sink contract."""

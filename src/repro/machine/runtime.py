@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, TraceError
 from repro.machine.affinity import ThreadPlacement, place_threads
+from repro.observe import get_bus
 from repro.machine.topology import MachineTopology
 from repro.machine.trace import (
     IterationTrace,
@@ -113,6 +114,15 @@ class SimulatedRuntime:
             n_threads, min(topology.core_stream_bw, share)
         )
 
+        # NUMA-remote traffic fraction (for the observability layer's
+        # remote-access estimates): under ``bound`` every thread off
+        # socket 0 reaches across QPI; under ``interleave`` pages
+        # round-robin, so (S−1)/S of all accesses are remote.
+        if memory == "bound":
+            self._remote_frac = float(np.mean(self.placement.socket != 0))
+        else:
+            self._remote_frac = (n_sockets - 1) / n_sockets
+
         sockets_used = len(self.placement.sockets_in_use())
         # A loop only streams from cache if its footprint fits with
         # headroom (real caches suffer conflict misses near capacity);
@@ -181,46 +191,101 @@ class SimulatedRuntime:
         p = self.n_threads
         t_obj = self.topology
         n_chunks = len(cost_chunks)
+        busy = np.zeros(p)
         if p == 1:
-            body = float(
+            busy[0] = float(
                 self._time_on_thread(
                     cost_chunks.sum(), byte_chunks.sum(), 0, spb
                 )
             )
-            return body + t_obj.fork_join_s
-        if trace.schedule == "static":
-            finish = 0.0
-            for t in range(min(p, n_chunks)):
-                tt = float(
-                    np.sum(
-                        self._time_on_thread(
-                            cost_chunks[t::p], byte_chunks[t::p], t, spb
+            wall = busy[0] + t_obj.fork_join_s
+            barrier_s = 0.0
+        else:
+            if trace.schedule == "static":
+                for t in range(min(p, n_chunks)):
+                    busy[t] = float(
+                        np.sum(
+                            self._time_on_thread(
+                                cost_chunks[t::p], byte_chunks[t::p], t, spb
+                            )
                         )
                     )
-                )
-                finish = max(finish, tt)
-        else:
-            grab = self.atomic_cost()
-            heap = [(0.0, t) for t in range(p)]
-            heapq.heapify(heap)
-            finish = 0.0
-            for i in range(n_chunks):
-                avail, t = heapq.heappop(heap)
-                done = avail + grab + float(
-                    self._time_on_thread(
-                        cost_chunks[i], byte_chunks[i], t, spb
+            else:
+                grab = self.atomic_cost()
+                heap = [(0.0, t) for t in range(p)]
+                heapq.heapify(heap)
+                for i in range(n_chunks):
+                    avail, t = heapq.heappop(heap)
+                    done = avail + grab + float(
+                        self._time_on_thread(
+                            cost_chunks[i], byte_chunks[i], t, spb
+                        )
                     )
-                )
-                finish = max(finish, done)
-                heapq.heappush(heap, (done, t))
-        return finish + t_obj.fork_join_s + t_obj.barrier_s(p)
+                    busy[t] = done
+                    heapq.heappush(heap, (done, t))
+            finish = float(busy.max()) if p else 0.0
+            barrier_s = t_obj.barrier_s(p)
+            wall = finish + t_obj.fork_join_s + barrier_s
+        bus = get_bus()
+        if bus.active:
+            self._emit_loop_replay(bus, trace, busy, wall, barrier_s)
+        return wall
+
+    def _emit_loop_replay(
+        self, bus, trace: LoopTrace, busy: np.ndarray, wall: float,
+        barrier_s: float,
+    ) -> None:
+        """Publish one replayed loop: per-socket work, traffic, barrier."""
+        p = self.n_threads
+        socket_seconds: dict[int, float] = {}
+        for sock in self.placement.sockets_in_use().tolist():
+            socket_seconds[int(sock)] = float(
+                busy[self.placement.socket == sock].sum()
+            )
+        remote = trace.total_bytes * self._remote_frac
+        bus.emit(
+            "trace_replay",
+            kind="loop",
+            step=trace.name,
+            seconds=wall,
+            n_threads=p,
+            schedule=trace.schedule,
+            memory=self.memory,
+            affinity=self.affinity,
+            socket_seconds=socket_seconds,
+            remote_bytes=remote,
+            local_bytes=trace.total_bytes - remote,
+        )
+        metrics = bus.metrics
+        for sock, sec in socket_seconds.items():
+            metrics.counter(
+                "machine_socket_busy_seconds_total", socket=sock
+            ).inc(sec)
+        metrics.counter(
+            "machine_remote_bytes_total", memory=self.memory
+        ).inc(remote)
+        metrics.counter("machine_loops_replayed_total").inc()
+        if barrier_s > 0.0:
+            bus.emit(
+                "barrier", step=trace.name, n_threads=p, seconds=barrier_s,
+                wait_seconds=float((busy.max() - busy).sum()),
+            )
+            metrics.counter("machine_barriers_total").inc()
+            metrics.counter("machine_barrier_seconds_total").inc(barrier_s)
 
     def serial_time(self, trace: SerialTrace) -> float:
         """Simulated time of serial work (runs on thread 0)."""
         spb = self._seconds_per_byte(trace.total_bytes, 0.0)
-        return float(
+        seconds = float(
             self._time_on_thread(trace.cost, trace.total_bytes, 0, spb)
         )
+        bus = get_bus()
+        if bus.active:
+            bus.emit(
+                "trace_replay", kind="serial", step=trace.name,
+                seconds=seconds, n_threads=1,
+            )
+        return seconds
 
     def rounded_loop_time(self, trace: RoundedLoopTrace) -> float:
         """Matching: barrier-separated rounds plus atomic queue updates.
@@ -232,9 +297,19 @@ class SimulatedRuntime:
         """
         lanes = max(1, min(self.n_threads, self.topology.atomic_parallelism))
         total = 0.0
+        total_atomics = 0
         for rnd, atomics in zip(trace.rounds, trace.atomics_per_round):
             body = self.loop_time(rnd)
             total += body + atomics * self.topology.atomic_s / lanes
+            total_atomics += atomics
+        bus = get_bus()
+        if bus.active:
+            bus.emit(
+                "trace_replay", kind="matching", step=trace.name,
+                seconds=total, n_threads=self.n_threads,
+                rounds=len(trace.rounds), atomics=total_atomics,
+            )
+            bus.metrics.counter("machine_atomics_total").inc(total_atomics)
         return total
 
     def task_group_time(self, trace: TaskGroupTrace) -> float:
@@ -287,10 +362,34 @@ class SimulatedRuntime:
         raise TraceError(f"unknown trace type {type(trace).__name__}")
 
     def iteration_timing(self, iteration: IterationTrace) -> StepTiming:
-        """Simulated seconds for one iteration, broken down per step."""
+        """Simulated seconds for one iteration, broken down per step.
+
+        When the :mod:`repro.observe` bus is active, emits one
+        ``trace_replay`` event of kind ``"step"`` per step plus one of
+        kind ``"iteration"`` for the total.  These are *aggregates* of
+        the per-loop events the inner calls already emitted — consumers
+        must not sum across kinds.
+        """
         per_step: dict[str, float] = {}
         for step in iteration.steps:
             per_step[step.name] = per_step.get(step.name, 0.0) + sum(
                 self.trace_time(item) for item in step.items
             )
-        return StepTiming(total=sum(per_step.values()), per_step=per_step)
+        total = sum(per_step.values())
+        bus = get_bus()
+        if bus.active:
+            for name, seconds in per_step.items():
+                bus.emit(
+                    "trace_replay", kind="step", step=name,
+                    seconds=seconds, n_threads=self.n_threads,
+                )
+            bus.emit(
+                "trace_replay", kind="iteration", step="iteration",
+                seconds=total, n_threads=self.n_threads,
+                memory=self.memory, affinity=self.affinity,
+            )
+            bus.metrics.histogram(
+                "machine_iteration_seconds",
+                n_threads=self.n_threads,
+            ).observe(total)
+        return StepTiming(total=total, per_step=per_step)

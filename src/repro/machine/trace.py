@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.errors import TraceError
 from repro.matching.result import MatchingResult, RoundStats
+from repro.observe import get_bus
 from repro.sparse.bipartite import BipartiteGraph
 
 __all__ = [
@@ -408,7 +409,38 @@ class AlgorithmTracer:
         self._step(name).items.append(TaskGroupTrace(name, tasks))
 
     def end_iteration(self) -> None:
-        """Close the current iteration."""
+        """Close the current iteration.
+
+        Emits one ``trace_replay`` event of kind ``"capture"``
+        summarizing the measured work (steps, total cost and bytes) when
+        the :mod:`repro.observe` bus is active, so a capture run and a
+        later replay share one coherent event stream.
+        """
+        bus = get_bus()
+        if bus.active:
+            total_cost = 0.0
+            total_bytes = 0.0
+            for step in self._current.steps:
+                for item in step.items:
+                    if isinstance(item, TaskGroupTrace):
+                        total_cost += sum(t.total_cost for t in item.tasks)
+                        total_bytes += sum(t.total_bytes for t in item.tasks)
+                    elif isinstance(item, SerialTrace):
+                        total_cost += item.cost
+                        total_bytes += item.total_bytes
+                    else:
+                        total_cost += item.total_cost
+                        total_bytes += item.total_bytes
+            bus.emit(
+                "trace_replay",
+                kind="capture",
+                step="iteration",
+                seconds=0.0,  # capture measures work, not time
+                iteration=len(self.iterations),
+                steps=self._current.step_names(),
+                total_cost=total_cost,
+                total_bytes=total_bytes,
+            )
         self.iterations.append(self._current)
         self._current = IterationTrace()
 

@@ -21,12 +21,14 @@ import numpy as np
 
 from repro._util import asarray_f64
 from repro.errors import ConfigurationError, DimensionError
+from repro.matching.instrument import observed_matcher
 from repro.matching.result import MatchingResult
 from repro.sparse.bipartite import BipartiteGraph
 
 __all__ = ["auction_matching"]
 
 
+@observed_matcher("auction")
 def auction_matching(
     graph: BipartiteGraph,
     weights: np.ndarray | None = None,

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro._util import asarray_f64
 from repro.errors import DimensionError
+from repro.matching.instrument import observed_matcher
 from repro.matching.result import MatchingResult
 from repro.sparse.bipartite import BipartiteGraph
 
@@ -37,6 +38,7 @@ _INF = float("inf")
 _DENSE_CUTOFF = 1_500_000
 
 
+@observed_matcher("exact")
 def max_weight_matching(
     graph: BipartiteGraph,
     weights: np.ndarray | None = None,

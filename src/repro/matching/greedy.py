@@ -12,12 +12,14 @@ import numpy as np
 
 from repro._util import asarray_f64
 from repro.errors import DimensionError
+from repro.matching.instrument import observed_matcher
 from repro.matching.result import MatchingResult
 from repro.sparse.bipartite import BipartiteGraph
 
 __all__ = ["greedy_matching"]
 
 
+@observed_matcher("greedy")
 def greedy_matching(
     graph: BipartiteGraph, weights: np.ndarray | None = None
 ) -> MatchingResult:

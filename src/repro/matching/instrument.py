@@ -1,0 +1,67 @@
+"""Shared ``matching``-event emission for the matcher substrates.
+
+Every ``bipartite_match`` oracle (exact, locally-dominant, Suitor,
+greedy, auction) reports each invocation through :func:`emit_matching`.
+The emission is guarded on the bus's ``active`` flag, so a run without
+sinks pays one function call and one attribute read per *matching
+invocation* — never per edge or per round.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, TypeVar
+
+from repro.matching.result import MatchingResult
+from repro.observe import get_bus
+from repro.sparse.bipartite import BipartiteGraph
+
+__all__ = ["emit_matching", "observed_matcher"]
+
+F = TypeVar("F", bound=Callable[..., MatchingResult])
+
+
+def emit_matching(
+    algorithm: str,
+    graph: BipartiteGraph,
+    result: MatchingResult,
+    **extra,
+) -> None:
+    """Emit one ``matching`` event (and bump matcher counters)."""
+    bus = get_bus()
+    if not bus.active:
+        return
+    bus.emit(
+        "matching",
+        algorithm=algorithm,
+        cardinality=result.cardinality,
+        weight=result.weight,
+        rounds=len(result.rounds),
+        n_a=graph.n_a,
+        n_b=graph.n_b,
+        n_edges=graph.n_edges,
+        **extra,
+    )
+    bus.metrics.counter("repro_matchings_total", algorithm=algorithm).inc()
+    bus.metrics.counter(
+        "repro_matched_pairs_total", algorithm=algorithm
+    ).inc(result.cardinality)
+
+
+def observed_matcher(algorithm: str) -> Callable[[F], F]:
+    """Decorate a matcher entry point to emit one event per invocation.
+
+    The wrapped function must take the graph as its first positional
+    argument and return a :class:`MatchingResult`.
+    """
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(graph, *args, **kwargs):
+            result = fn(graph, *args, **kwargs)
+            emit_matching(algorithm, graph, result)
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro._util import asarray_f64
 from repro.errors import ConfigurationError, DimensionError
+from repro.matching.instrument import observed_matcher
 from repro.matching.result import MatchingResult, RoundStats
 from repro.sparse.bipartite import BipartiteGraph
 
@@ -50,6 +51,7 @@ def _general_graph_arrays(
     return indptr, neighbors, w_vec[half_eid]
 
 
+@observed_matcher("locally-dominant")
 def locally_dominant_matching(
     graph: BipartiteGraph,
     weights: np.ndarray | None = None,
@@ -186,6 +188,7 @@ def locally_dominant_matching(
     return MatchingResult.from_mates(graph, mate_a, weights=w_vec, rounds=rounds)
 
 
+@observed_matcher("locally-dominant-vectorized")
 def locally_dominant_matching_vectorized(
     graph: BipartiteGraph,
     weights: np.ndarray | None = None,

@@ -19,12 +19,14 @@ import numpy as np
 
 from repro._util import asarray_f64
 from repro.errors import DimensionError
+from repro.matching.instrument import observed_matcher
 from repro.matching.result import MatchingResult
 from repro.sparse.bipartite import BipartiteGraph
 
 __all__ = ["suitor_matching"]
 
 
+@observed_matcher("suitor")
 def suitor_matching(
     graph: BipartiteGraph, weights: np.ndarray | None = None
 ) -> MatchingResult:

@@ -1,0 +1,174 @@
+"""The event bus: guarded emission, spans, and the process-default bus.
+
+Design constraints (from the instrumented hot loops):
+
+* **Off by default, overhead-free when off.**  A bus with no sinks has
+  ``active == False``; every instrumented call site guards with
+  ``if bus.active:`` so a disabled run pays one attribute read per
+  emission point — no event objects, no validation, no timestamps.
+* **Total order.**  Every event gets a strictly increasing sequence
+  number; sorting by ``seq`` recovers emission order across modules
+  (solver iterations interleaved with simulator replay events).
+* **Spans.**  ``with bus.trace("bp.align", matcher="approx"):`` emits a
+  ``span_start``/``span_end`` pair with the measured wall seconds, and
+  nests (children record their parent span id).
+
+>>> from repro.observe.sinks import MemorySink
+>>> bus = EventBus()
+>>> bus.active
+False
+>>> sink = bus.add_sink(MemorySink())
+>>> with bus.trace("demo", flavor="doctest"):
+...     bus.emit("barrier", step="x", n_threads=2, seconds=1e-6)
+>>> [e.type for e in sink.events]
+['span_start', 'barrier', 'span_end']
+>>> bus.remove_sink(sink); bus.active
+False
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.observe.events import Event, validate_event
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.sinks import Sink
+
+__all__ = ["EventBus", "get_bus", "set_bus", "capture"]
+
+
+class EventBus:
+    """Fans events out to attached sinks; owns a metrics registry."""
+
+    def __init__(self) -> None:
+        self._sinks: list[Sink] = []
+        self._seq = itertools.count()
+        self._span_ids = itertools.count(1)
+        self._span_stack = threading.local()
+        self._lock = threading.Lock()
+        #: True iff at least one sink is attached.  Instrumented call
+        #: sites read this before building event payloads.
+        self.active = False
+        #: Metrics published by instrumented code.  Gated by the same
+        #: ``active`` flag at the call sites, so a disabled run records
+        #: nothing.
+        self.metrics = MetricsRegistry()
+
+    # -- sink management ----------------------------------------------
+    def add_sink(self, sink: Sink) -> Sink:
+        """Attach ``sink`` and activate the bus.  Returns the sink."""
+        with self._lock:
+            self._sinks.append(sink)
+            self.active = True
+        return sink
+
+    def remove_sink(self, sink: Sink) -> None:
+        """Detach ``sink`` (ignoring sinks never attached)."""
+        with self._lock:
+            try:
+                self._sinks.remove(sink)
+            except ValueError:
+                pass
+            self.active = bool(self._sinks)
+
+    def clear_sinks(self) -> None:
+        """Detach every sink and deactivate the bus."""
+        with self._lock:
+            self._sinks.clear()
+            self.active = False
+
+    # -- emission ------------------------------------------------------
+    def emit(self, type_name: str, **fields) -> None:
+        """Validate and deliver one event to every sink.
+
+        A no-op when no sink is attached — but call sites should still
+        guard with ``if bus.active:`` to avoid building ``fields``.
+        """
+        if not self.active:
+            return
+        validate_event(type_name, fields)
+        event = Event(type_name, next(self._seq), time.time(), fields)
+        for sink in self._sinks:
+            sink.write(event)
+
+    # -- spans ---------------------------------------------------------
+    def _stack(self) -> list[int]:
+        stack = getattr(self._span_stack, "stack", None)
+        if stack is None:
+            stack = []
+            self._span_stack.stack = stack
+        return stack
+
+    @contextmanager
+    def trace(self, name: str, **labels) -> Iterator[int | None]:
+        """Span context manager: ``span_start`` … ``span_end``.
+
+        Yields the span id (or ``None`` when the bus is inactive, in
+        which case nothing is emitted and nothing is timed).
+        """
+        if not self.active:
+            yield None
+            return
+        span_id = next(self._span_ids)
+        stack = self._stack()
+        parent = stack[-1] if stack else 0
+        stack.append(span_id)
+        self.emit(
+            "span_start", name=name, span=span_id, parent=parent, **labels
+        )
+        t0 = time.perf_counter()
+        try:
+            yield span_id
+        finally:
+            seconds = time.perf_counter() - t0
+            stack.pop()
+            self.emit(
+                "span_end", name=name, span=span_id, parent=parent,
+                seconds=seconds,
+            )
+
+
+#: The process-default bus every instrumented module publishes to.
+_DEFAULT_BUS = EventBus()
+
+
+def get_bus() -> EventBus:
+    """The process-default :class:`EventBus`."""
+    return _DEFAULT_BUS
+
+
+def set_bus(bus: EventBus) -> EventBus:
+    """Replace the process-default bus; returns the previous one.
+
+    Instrumented modules call :func:`get_bus` at *call* time, so the
+    swap takes effect immediately (tests use this for isolation).
+    """
+    global _DEFAULT_BUS
+    previous = _DEFAULT_BUS
+    _DEFAULT_BUS = bus
+    return previous
+
+
+@contextmanager
+def capture(sink: Sink | None = None, bus: EventBus | None = None):
+    """Attach ``sink`` (default: a fresh MemorySink) for the block.
+
+    Yields the sink, detaching it afterwards::
+
+        with capture() as sink:
+            belief_propagation_align(problem)
+        iteration_events = sink.of_type("iteration")
+    """
+    from repro.observe.sinks import MemorySink
+
+    bus = bus if bus is not None else get_bus()
+    sink = sink if sink is not None else MemorySink()
+    bus.add_sink(sink)
+    try:
+        yield sink
+    finally:
+        bus.remove_sink(sink)

@@ -1,0 +1,202 @@
+"""A minimal labeled metrics registry (counters, gauges, histograms).
+
+The shape follows the Prometheus client conventions — an instrument is
+identified by a metric name plus a frozen label set, and the registry
+caches instruments so hot paths pay one dict lookup — but with zero
+dependencies and a snapshot format that is plain JSON.
+
+>>> reg = MetricsRegistry()
+>>> reg.counter("roundings_total", matcher="approx").inc()
+>>> reg.counter("roundings_total", matcher="approx").inc(2.0)
+>>> reg.counter("roundings_total", matcher="approx").value
+3.0
+>>> reg.gauge("objective").set(12.5)
+>>> h = reg.histogram("iter_seconds")
+>>> h.observe(0.25); h.count, h.sum
+(1, 0.25)
+>>> sorted(row["metric"] for row in reg.snapshot())
+['iter_seconds', 'objective', 'roundings_total']
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any
+
+from repro.errors import ObservabilityError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+#: Default histogram bucket upper bounds (seconds-flavored, geometric).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0,
+)
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ObservabilityError("counters can only increase")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move both ways."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the current value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the current value by ``amount`` (may be negative)."""
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    ``buckets`` are upper bounds; an implicit +inf bucket catches the
+    rest (so ``sum(bucket_counts) == count`` always holds).
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if list(buckets) != sorted(buckets):
+            raise ObservabilityError("histogram buckets must be sorted")
+        self.buckets = tuple(float(b) for b in buckets)
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+
+class MetricsRegistry:
+    """Caches labeled instruments; snapshots to plain dicts.
+
+    Label values are stringified at lookup (label sets are identities,
+    not data).  Requesting the same (name, labels) twice returns the
+    same instrument; requesting the same name with a different
+    instrument kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple, Any] = {}
+        self._kinds: dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, kind: str, name: str, labels: dict, factory):
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        inst = self._instruments.get(key)
+        if inst is not None:
+            if self._kinds[name] != kind:
+                self._kind_conflict(name, kind)
+            return inst
+        with self._lock:
+            inst = self._instruments.get(key)
+            if inst is not None:
+                if self._kinds[name] != kind:
+                    self._kind_conflict(name, kind)
+                return inst
+            seen = self._kinds.get(name)
+            if seen is not None and seen != kind:
+                self._kind_conflict(name, kind)
+            self._kinds[name] = kind
+            inst = factory()
+            self._instruments[key] = inst
+            return inst
+
+    def _kind_conflict(self, name: str, kind: str) -> None:
+        raise ObservabilityError(
+            f"metric {name!r} already registered as "
+            f"{self._kinds[name]}, requested as {kind}"
+        )
+
+    def counter(self, name: str, **labels) -> Counter:
+        """Get (or create) the counter ``name{labels}``."""
+        return self._get("counter", name, labels, Counter)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """Get (or create) the gauge ``name{labels}``."""
+        return self._get("gauge", name, labels, Gauge)
+
+    def histogram(
+        self, name: str,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels,
+    ) -> Histogram:
+        """Get (or create) the histogram ``name{labels}``."""
+        return self._get(
+            "histogram", name, labels, lambda: Histogram(buckets)
+        )
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """All instruments as JSON-ready rows (sorted by name, labels)."""
+        rows = []
+        for (name, label_items), inst in sorted(self._instruments.items()):
+            row: dict[str, Any] = {
+                "metric": name,
+                "metric_kind": self._kinds[name],
+                "labels": dict(label_items),
+            }
+            if isinstance(inst, Histogram):
+                row["value"] = inst.sum
+                row["count"] = inst.count
+                row["min"] = inst.min if inst.count else None
+                row["max"] = inst.max if inst.count else None
+                row["buckets"] = list(inst.buckets)
+                row["bucket_counts"] = list(inst.bucket_counts)
+            else:
+                row["value"] = inst.value
+            rows.append(row)
+        return rows
+
+    def publish(self, bus) -> int:
+        """Emit one ``metric`` event per instrument onto ``bus``.
+
+        Returns the number of events emitted (0 when the bus is
+        inactive).
+        """
+        if not bus.active:
+            return 0
+        rows = self.snapshot()
+        for row in rows:
+            bus.emit("metric", **row)
+        return len(rows)
+
+    def reset(self) -> None:
+        """Forget every instrument (tests, or between CLI commands)."""
+        with self._lock:
+            self._instruments.clear()
+            self._kinds.clear()

@@ -1,0 +1,138 @@
+"""Rebuild solver history and simulator counters from an event stream.
+
+The contract that makes benches migratable onto the event stream: a run
+captured with any sink contains *all* the information the ad-hoc
+``IterationRecord`` lists carried — :func:`history_from_events` proves
+it by rebuilding the exact history (asserted in ``tests/test_observe.py``
+against BP and Klau), and :func:`socket_counters_from_events` aggregates
+the simulated machine's per-socket work, barrier waits, and remote
+traffic the same way.
+
+>>> from repro.observe.bus import EventBus
+>>> from repro.observe.sinks import MemorySink
+>>> bus = EventBus(); sink = bus.add_sink(MemorySink())
+>>> bus.emit("iteration", method="bp", iteration=1, objective=2.0,
+...          weight_part=1.0, overlap_part=1.0,
+...          upper_bound=float("nan"), source="y", gamma=0.9)
+>>> [r.objective for r in history_from_events(sink.events)]
+[2.0]
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable, Sequence
+
+from repro.observe.events import Event
+from repro.observe.sinks import read_jsonl
+
+__all__ = [
+    "read_jsonl",
+    "history_from_events",
+    "history_from_jsonl",
+    "socket_counters_from_events",
+    "SocketCounters",
+]
+
+
+def history_from_events(
+    events: Iterable[Event], method: str | None = None
+):
+    """Rebuild the per-iteration history from ``iteration`` events.
+
+    Returns a list of :class:`repro.core.result.IterationRecord`, sorted
+    by iteration (ties kept in emission order) — the same ordering
+    :func:`repro.core.bp.belief_propagation_align` and
+    :func:`repro.core.klau.klau_align` put in
+    :attr:`repro.core.result.AlignmentResult.history`.
+
+    ``method`` filters on the event's ``method`` field (prefix match, so
+    ``"bp"`` matches ``"bp[batch=20,approx]"``); pass ``None`` when the
+    stream holds a single run.
+    """
+    # Imported lazily: repro.core imports repro.observe at module load.
+    from repro.core.result import IterationRecord
+
+    records = []
+    for event in sorted(events, key=lambda e: e.seq):
+        if event.type != "iteration":
+            continue
+        f = event.fields
+        if method is not None and not str(f["method"]).startswith(method):
+            continue
+        records.append(
+            IterationRecord(
+                iteration=int(f["iteration"]),
+                objective=float(f["objective"]),
+                weight_part=float(f["weight_part"]),
+                overlap_part=float(f["overlap_part"]),
+                upper_bound=float(f["upper_bound"]),
+                source=str(f["source"]),
+                gamma=float(f["gamma"]),
+            )
+        )
+    records.sort(key=lambda r: r.iteration)
+    return records
+
+
+def history_from_jsonl(path_or_file: str | IO[str], method: str | None = None):
+    """:func:`history_from_events` over a JSONL capture file."""
+    return history_from_events(read_jsonl(path_or_file), method=method)
+
+
+class SocketCounters:
+    """Aggregated simulated-machine behavior for one replay stream.
+
+    Attributes
+    ----------
+    work_seconds:
+        socket id → simulated busy seconds across all replayed loops.
+    barrier_count, barrier_seconds:
+        Number of simulated barriers and their total wait seconds.
+    remote_bytes, local_bytes:
+        Estimated NUMA-remote vs local traffic (bytes) across loops.
+    steps:
+        step name → total simulated seconds (Fig. 6/7 shape).
+    """
+
+    def __init__(self) -> None:
+        self.work_seconds: dict[int, float] = {}
+        self.barrier_count = 0
+        self.barrier_seconds = 0.0
+        self.remote_bytes = 0.0
+        self.local_bytes = 0.0
+        self.steps: dict[str, float] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"SocketCounters(sockets={sorted(self.work_seconds)}, "
+            f"barriers={self.barrier_count}, "
+            f"remote_bytes={self.remote_bytes:.0f})"
+        )
+
+
+def socket_counters_from_events(events: Iterable[Event]) -> SocketCounters:
+    """Aggregate ``trace_replay``/``barrier`` events into counters.
+
+    Only replay events of kind ``"loop"`` carry per-socket breakdowns
+    (``socket_seconds`` maps socket id → busy seconds); iteration-level
+    replay events contribute to the per-step totals.
+    """
+    out = SocketCounters()
+    for event in events:
+        if event.type == "barrier":
+            out.barrier_count += 1
+            out.barrier_seconds += float(event.fields["seconds"])
+        elif event.type == "trace_replay":
+            f = event.fields
+            if f.get("kind") == "loop":
+                for sock, sec in (f.get("socket_seconds") or {}).items():
+                    key = int(sock)
+                    out.work_seconds[key] = (
+                        out.work_seconds.get(key, 0.0) + float(sec)
+                    )
+                out.remote_bytes += float(f.get("remote_bytes", 0.0))
+                out.local_bytes += float(f.get("local_bytes", 0.0))
+                out.steps[f["step"]] = (
+                    out.steps.get(f["step"], 0.0) + float(f["seconds"])
+                )
+    return out

@@ -1,0 +1,94 @@
+"""Docs/code consistency: the observability schema contract.
+
+docs/observability.md promises that every event type the code can emit
+is documented there.  These tests enforce the promise in both
+directions, check that each documented section lists every required
+field, run the doctests embedded in the ``repro.observe`` modules, and
+keep the README docs index pointing at pages that exist.
+"""
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+import repro.observe.bus
+import repro.observe.events
+import repro.observe.metrics
+import repro.observe.reconstruct
+import repro.observe.sinks
+from repro.observe import EVENT_TYPES
+
+REPO = Path(__file__).resolve().parent.parent
+DOC = REPO / "docs" / "observability.md"
+
+OBSERVE_MODULES = [
+    repro.observe.events,
+    repro.observe.metrics,
+    repro.observe.sinks,
+    repro.observe.bus,
+    repro.observe.reconstruct,
+]
+
+
+def documented_event_sections() -> dict[str, str]:
+    """Map event-type name -> its section body, from the schema doc."""
+    text = DOC.read_text(encoding="utf-8")
+    stream = text.split("## The event stream", 1)[1].split(
+        "## Metrics registry", 1)[0]
+    sections: dict[str, str] = {}
+    parts = re.split(r"^### `(\w+)`$", stream, flags=re.MULTILINE)
+    for name, body in zip(parts[1::2], parts[2::2]):
+        sections[name] = body
+    return sections
+
+
+class TestEventSchemaDoc:
+    def test_every_emitted_type_is_documented(self):
+        missing = set(EVENT_TYPES) - set(documented_event_sections())
+        assert not missing, (
+            f"event types missing from docs/observability.md: {missing}"
+        )
+
+    def test_every_documented_type_exists_in_code(self):
+        stale = set(documented_event_sections()) - set(EVENT_TYPES)
+        assert not stale, (
+            f"docs/observability.md documents unknown event types: {stale}"
+        )
+
+    def test_required_fields_listed_per_section(self):
+        sections = documented_event_sections()
+        for type_name, required in EVENT_TYPES.items():
+            body = sections[type_name]
+            for field in required:
+                assert f"`{field}`" in body, (
+                    f"docs section for {type_name!r} does not list the "
+                    f"required field {field!r}"
+                )
+
+
+@pytest.mark.parametrize(
+    "module", OBSERVE_MODULES, ids=lambda m: m.__name__
+)
+def test_observe_doctests(module):
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS,
+    )
+    assert results.attempted > 0, f"{module.__name__} has no doctests"
+    assert results.failed == 0
+
+
+class TestDocsIndex:
+    def test_readme_links_every_docs_page(self):
+        readme = (REPO / "README.md").read_text(encoding="utf-8")
+        for page in sorted((REPO / "docs").glob("*.md")):
+            assert f"docs/{page.name}" in readme, (
+                f"README.md docs index does not link docs/{page.name}"
+            )
+
+    def test_linked_docs_pages_exist(self):
+        readme = (REPO / "README.md").read_text(encoding="utf-8")
+        for rel in re.findall(r"\((docs/[\w\-]+\.md)\)", readme):
+            assert (REPO / rel).is_file(), f"README links missing page {rel}"

@@ -41,3 +41,11 @@ class TestExamples:
         out = run_example("custom_machine.py")
         assert "e7-8870 (the paper's)" in out
         assert "single socket, 10 cores" in out
+
+    def test_observed_run(self):
+        out = run_example("observed_run.py", "--iters", "6")
+        assert ">> bp.align" in out and "<< bp.align" in out
+        assert out.count("[bp]") == 6
+        assert "history rebuilt from" in out
+        assert "repro_solver_iterations_total{method=bp} = 6" in out
+        assert "machine_socket_busy_seconds_total{socket=0}" in out
