@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Benchmark trajectory harness: run the kernel + backend groups and
+record the results in ``BENCH_2.json`` at the repo root.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--out BENCH_2.json]
+        [--repeats 5] [--scale 0.01] [--skip-process]
+
+The file captures *this machine's* numbers — machine info (platform,
+CPU count, library versions) rides along so readers can judge whether a
+recorded speedup is meaningful (a 1-CPU container cannot show a real
+process-pool win; the warm-start and kernel numbers still are).
+
+Each benchmark row: ``{"group", "name", "median_s", "stddev_s",
+"repeats", "samples_s", "extra"}``.  Kernel rows time the same loops as
+``bench_kernels.py``; backend rows time the shared workloads from
+``backend_workloads.py`` (the same functions ``bench_backend.py``
+asserts on).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np
+import scipy
+
+from backend_workloads import (
+    batch_vectors,
+    summarize,
+    time_batched_rounding,
+    time_klau_warm,
+    time_repeated_rounding,
+    wiki_problem,
+)
+from repro.accel import ParallelConfig
+from repro.core.othermax import othermax_col, othermax_row
+from repro.sparse.ops import row_sums, spmv
+
+
+def machine_info() -> dict:
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scipy": scipy.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def timeit(fn, repeats: int) -> list[float]:
+    fn()  # warmup
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return samples
+
+
+def kernel_benchmarks(problem, repeats: int) -> list[dict]:
+    """The ``bench_kernels.py`` loops, timed without pytest-benchmark."""
+    rng = np.random.default_rng(0)
+    g_vec = rng.normal(size=problem.n_edges_l)
+    x = np.random.default_rng(1).random(problem.n_edges_l)
+    out = np.empty(problem.n_edges_l)
+    scratch = np.empty(problem.n_edges_l)
+    s = problem.squares
+    rows = []
+    for name, fn in (
+        ("othermax_row", lambda: othermax_row(problem.ell, g_vec, out)),
+        ("othermax_col",
+         lambda: othermax_col(problem.ell, g_vec, out, scratch)),
+        ("spmv_squares", lambda: spmv(s, x, out)),
+        ("row_sums_squares", lambda: row_sums(s, out)),
+    ):
+        rows.append({
+            "group": "kernels", "name": name,
+            **summarize(timeit(fn, repeats)),
+            "extra": {"n_edges_l": problem.n_edges_l, "squares_nnz": s.nnz},
+        })
+        print(f"  kernels/{name}: {rows[-1]['median_s'] * 1e3:.2f} ms")
+    return rows
+
+
+def backend_benchmarks(
+    problem, repeats: int, skip_process: bool
+) -> list[dict]:
+    rows = []
+    vectors = batch_vectors(problem, count=8, seed=0)
+    configs = [("serial", ParallelConfig(backend="serial"))]
+    if not skip_process:
+        configs += [
+            ("process_2", ParallelConfig(backend="process", n_workers=2)),
+            ("process_4", ParallelConfig(backend="process", n_workers=4)),
+        ]
+    baseline = None
+    for label, cfg in configs:
+        samples, _ = time_batched_rounding(
+            problem, vectors, cfg, repeats=repeats
+        )
+        row = {
+            "group": "backend", "name": f"batched_rounding_{label}",
+            **summarize(samples),
+            "extra": {"n_vectors": len(vectors), "backend": cfg.backend,
+                      "n_workers": cfg.n_workers},
+        }
+        if baseline is None:
+            baseline = row["median_s"]
+        else:
+            row["extra"]["speedup_vs_serial"] = baseline / row["median_s"]
+        rows.append(row)
+        print(f"  backend/batched_rounding_{label}: "
+              f"{row['median_s']:.3f} s")
+
+    r = time_repeated_rounding(problem, rounds=5, repeats=repeats)
+    for label in ("cold", "warm"):
+        rows.append({
+            "group": "backend", "name": f"repeated_rounding_{label}",
+            **summarize(r[label]),
+            "extra": {
+                "rounds": 5,
+                "weight": r[f"weight_{label}"],
+                **({"rows_reused": r["rows_reused"],
+                    "rows_total": r["rows_total"],
+                    "search_depth": r["search_depth"]}
+                   if label == "warm" else {}),
+            },
+        })
+        print(f"  backend/repeated_rounding_{label}: "
+              f"{rows[-1]['median_s']:.3f} s")
+
+    k = time_klau_warm(problem, n_iter=15, repeats=max(2, repeats // 2))
+    for label in ("cold", "warm"):
+        rows.append({
+            "group": "backend", "name": f"klau_{label}",
+            **summarize(k[label]),
+            "extra": {"n_iter": 15, "objective": k[f"objective_{label}"]},
+        })
+        print(f"  backend/klau_{label}: {rows[-1]['median_s']:.3f} s")
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_2.json"))
+    ap.add_argument("--repeats", type=int, default=5)
+    ap.add_argument("--scale", type=float, default=0.01)
+    ap.add_argument("--skip-process", action="store_true",
+                    help="skip the process-pool rows (e.g. no /dev/shm)")
+    args = ap.parse_args(argv)
+
+    print(f"building wiki problem (scale={args.scale}) ...")
+    problem = wiki_problem(scale=args.scale)
+    print(f"  n_a={problem.ell.n_a} n_b={problem.ell.n_b} "
+          f"n_edges_l={problem.n_edges_l}")
+
+    rows = kernel_benchmarks(problem, args.repeats)
+    rows += backend_benchmarks(problem, args.repeats, args.skip_process)
+
+    doc = {
+        "schema": 1,
+        "generated_by": "benchmarks/run_bench.py",
+        "instance": {"family": "lcsh_wiki", "scale": args.scale, "seed": 3,
+                     "n_a": problem.ell.n_a, "n_b": problem.ell.n_b,
+                     "n_edges_l": problem.n_edges_l},
+        "machine": machine_info(),
+        "benchmarks": rows,
+    }
+    Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out} ({len(rows)} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

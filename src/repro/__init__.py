@@ -19,6 +19,7 @@ See README.md for the architecture overview and DESIGN.md for the
 paper-to-module map.
 """
 
+from repro.accel import ParallelConfig, parallel_map, solve_many
 from repro.core import (
     AlignmentResult,
     BPConfig,
@@ -64,6 +65,7 @@ __all__ = [
     "KlauConfig",
     "MatchingResult",
     "NetworkAlignmentProblem",
+    "ParallelConfig",
     "SimulatedRuntime",
     "__version__",
     "belief_propagation_align",
@@ -80,8 +82,10 @@ __all__ = [
     "max_weight_matching",
     "observe",
     "ontology_instance",
+    "parallel_map",
     "powerlaw_alignment_instance",
     "powerlaw_graph",
     "round_heuristic",
+    "solve_many",
     "xeon_e7_8870",
 ]

@@ -1,0 +1,80 @@
+"""Execution-backend configuration for :mod:`repro.accel`.
+
+One frozen dataclass names the three backends the library can run
+independent work units on:
+
+``"serial"``
+    In-process loop.  The reference semantics — every other backend is
+    required (and tested) to be bit-identical to it.
+``"threaded"``
+    ``concurrent.futures.ThreadPoolExecutor``.  Honest about the GIL: the
+    pure-Python matching kernels do not speed up (see
+    ``benchmarks/bench_gil_reality.py``), but NumPy-releasing sections
+    overlap and the backend is useful for I/O-bound ``solve_many`` work.
+``"process"``
+    ``multiprocessing`` pool over :mod:`repro.accel.shm` shared-memory
+    views of the problem's immutable CSR arrays.  This is the backend
+    that delivers real multicore wall-clock wins.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BACKENDS", "ParallelConfig"]
+
+#: The recognized execution backends.
+BACKENDS = ("serial", "threaded", "process")
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How to fan independent work units out.
+
+    Attributes
+    ----------
+    backend:
+        One of :data:`BACKENDS`.
+    n_workers:
+        Worker count for the pool backends; ``0`` means "one per CPU"
+        (``os.cpu_count()``).  Ignored by ``"serial"``.
+    chunk:
+        Tasks handed to a worker per dispatch (``chunksize`` of
+        ``Pool.map``).  Larger chunks amortize IPC overhead at the cost
+        of tail imbalance.
+    start_method:
+        ``multiprocessing`` start method for the process backend.
+        ``"fork"`` (default on Linux) inherits the parent's read-only
+        state cheaply; ``"spawn"`` is the portable escape hatch.
+    """
+
+    backend: str = "serial"
+    n_workers: int = 0
+    chunk: int = 1
+    start_method: str = "fork"
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; expected one of "
+                f"{BACKENDS}"
+            )
+        if self.n_workers < 0:
+            raise ConfigurationError("n_workers must be >= 0")
+        if self.chunk < 1:
+            raise ConfigurationError("chunk must be >= 1")
+        if self.start_method not in ("fork", "spawn", "forkserver"):
+            raise ConfigurationError(
+                f"unknown start_method {self.start_method!r}"
+            )
+
+    def resolve_workers(self) -> int:
+        """The actual worker count (resolves the ``0`` = per-CPU default)."""
+        if self.backend == "serial":
+            return 1
+        if self.n_workers > 0:
+            return self.n_workers
+        return max(1, os.cpu_count() or 1)

@@ -1,0 +1,79 @@
+"""Batch serving: schedule whole alignment instances across the pool.
+
+``solve_many`` is the unit of work a traffic-serving deployment sees: a
+list of independent problems to align.  Each problem is solved by the
+ordinary solver entry points; the backend only decides *where* the runs
+execute.  Results come back in input order.
+
+The process backend ships each problem to a worker by pickle (problems
+are independent here, unlike the batched-rounding path where one problem
+is shared read-only).  Lazily derived structures (the squares matrix)
+are built in the worker if the caller has not forced them, so the parent
+does not pay for them twice.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.accel.config import ParallelConfig
+from repro.accel.pool import parallel_map
+from repro.core.problem import NetworkAlignmentProblem
+from repro.core.result import AlignmentResult
+from repro.errors import ConfigurationError
+from repro.observe import get_bus
+
+__all__ = ["solve_many"]
+
+#: Solver names accepted by :func:`solve_many` (``"mr"`` = Klau).
+METHODS = ("bp", "mr", "klau")
+
+
+def _solve_one(task: tuple) -> AlignmentResult:
+    """Module-level task body (must be picklable for the process pool)."""
+    problem, method, config = task
+    if method == "bp":
+        from repro.core.bp import belief_propagation_align
+
+        return belief_propagation_align(problem, config)
+    from repro.core.klau import klau_align
+
+    return klau_align(problem, config)
+
+
+def solve_many(
+    problems: Sequence[NetworkAlignmentProblem],
+    method: str = "bp",
+    config=None,
+    parallel: ParallelConfig | None = None,
+) -> list[AlignmentResult]:
+    """Align every problem; returns results in input order.
+
+    Parameters
+    ----------
+    problems:
+        Independent alignment instances.
+    method:
+        ``"bp"`` or ``"mr"``/``"klau"``.
+    config:
+        Optional solver config (:class:`~repro.core.bp.BPConfig` or
+        :class:`~repro.core.klau.KlauConfig`), shared by all runs.
+    parallel:
+        Backend selection; default serial.  Solver-internal events are
+        emitted only by backends sharing the parent process (worker
+        buses are silenced); the batch itself is traced as an
+        ``accel.solve_many`` span either way.
+    """
+    if method not in METHODS:
+        raise ConfigurationError(
+            f"unknown method {method!r}; expected one of {METHODS}"
+        )
+    method = "mr" if method == "klau" else method
+    parallel = parallel or ParallelConfig()
+    bus = get_bus()
+    with bus.trace(
+        "accel.solve_many", method=method, backend=parallel.backend,
+        n_problems=len(problems),
+    ):
+        tasks = [(p, method, config) for p in problems]
+        return parallel_map(_solve_one, tasks, parallel)

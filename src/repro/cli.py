@@ -190,12 +190,25 @@ def _cmd_solve(args: argparse.Namespace) -> None:
         args.directory, alpha=args.alpha, beta=args.beta
     )
     if args.method == "bp":
+        parallel = None
+        if args.backend != "serial":
+            from repro.accel import ParallelConfig
+
+            parallel = ParallelConfig(
+                backend=args.backend, n_workers=args.jobs
+            )
         res = belief_propagation_align(
             problem,
             BPConfig(n_iter=args.iters, matcher=args.matcher,
                      batch=args.batch),
+            parallel=parallel,
         )
     else:
+        if args.backend != "serial":
+            print(
+                "note: --backend applies to BP's batched rounding; "
+                "mr runs serially", file=sys.stderr,
+            )
         res = klau_align(
             problem, KlauConfig(n_iter=args.iters, matcher=args.matcher)
         )
@@ -360,11 +373,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", choices=["bp", "mr"], default="bp")
     p.add_argument(
         "--matcher",
-        choices=["exact", "approx", "greedy", "suitor", "auction"],
+        choices=["exact", "exact-warm", "approx", "greedy", "suitor",
+                 "auction"],
         default="approx",
     )
     p.add_argument("--iters", type=int, default=100)
     p.add_argument("--batch", type=int, default=1)
+    p.add_argument(
+        "--backend", choices=["serial", "threaded", "process"],
+        default="serial",
+        help="execution backend for BP's batched rounding "
+             "(docs/performance.md); mr runs serially either way",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker count for --backend threaded/process "
+             "(0 = one per CPU)",
+    )
     p.add_argument("--alpha", type=float, default=1.0)
     p.add_argument("--beta", type=float, default=2.0)
     p.add_argument("--output", default=None)

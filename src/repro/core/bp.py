@@ -27,7 +27,13 @@ import numpy as np
 from repro.core.othermax import othermax_col, othermax_row
 from repro.core.problem import NetworkAlignmentProblem
 from repro.core.result import AlignmentResult, BestTracker, IterationRecord
-from repro.core.rounding import Matcher, make_matcher, round_heuristic
+from repro.core.rounding import (
+    Matcher,
+    RoundingWorkspace,
+    emit_rounding,
+    make_matcher,
+    round_heuristic,
+)
 from repro.errors import ConfigurationError
 from repro.observe import get_bus
 from repro.sparse.csr import CSRMatrix
@@ -73,6 +79,8 @@ def belief_propagation_align(
     problem: NetworkAlignmentProblem,
     config: BPConfig | None = None,
     tracer: Any | None = None,
+    *,
+    parallel: "ParallelConfig | None" = None,
 ) -> AlignmentResult:
     """Run the BP message-passing method on ``problem``.
 
@@ -81,14 +89,27 @@ def belief_propagation_align(
     :mod:`repro.observe` bus has sinks attached, the run is wrapped in a
     ``bp.align`` span and emits one ``iteration`` event per iteration
     (plus ``rounding``/``matching`` events from the rounding layer).
+
+    ``parallel`` optionally selects an execution backend
+    (:class:`repro.accel.ParallelConfig`) for the batched rounding step:
+    the ``2 × batch`` matchings of each flush are independent, and the
+    process backend fans them out over shared memory.  Results are
+    bit-identical to the serial path for stateless matchers (see
+    ``docs/performance.md``).
     """
     config = config or BPConfig()
     bus = get_bus()
     with bus.trace(
         "bp.align", matcher=config.matcher, n_iter=config.n_iter,
         batch=config.batch, damping=config.damping,
+        backend="serial" if parallel is None else parallel.backend,
     ):
-        return _bp_run(problem, config, tracer, bus)
+        if parallel is not None and parallel.backend != "serial":
+            from repro.accel.pool import RoundingPool
+
+            with RoundingPool(problem, config.matcher, parallel) as pool:
+                return _bp_run(problem, config, tracer, bus, pool)
+        return _bp_run(problem, config, tracer, bus, None)
 
 
 def _bp_run(
@@ -96,6 +117,7 @@ def _bp_run(
     config: BPConfig,
     tracer: Any | None,
     bus,
+    pool: "RoundingPool | None" = None,
 ) -> AlignmentResult:
     """The BP iteration body (Listing 2)."""
     matcher: Matcher = make_matcher(config.matcher)
@@ -126,33 +148,60 @@ def _bp_run(
 
     tracker = BestTracker()
     history: list[IterationRecord] = []
+    workspace = RoundingWorkspace.for_problem(problem)
     flush_every = max(1, config.batch // 2)
     pending: list[tuple[int, np.ndarray, np.ndarray]] = []
 
     def flush_batch() -> None:
-        """Round all stored iterates (the paper's batched rounding)."""
+        """Round all stored iterates (the paper's batched rounding).
+
+        The ``2 × batch`` matchings share no state; with a pool they run
+        on the configured backend and the parent replays tracker offers
+        and ``rounding`` events in serial order, so histories and event
+        streams are backend-independent.
+        """
         if not pending:
             return
         batch_records: list[tuple[Any, ...]] = []
-        for it, y_it, z_it in pending:
-            obj_y, wp_y, op_y, match_y = round_heuristic(
-                problem, y_it, matcher, tracker, source="y", iteration=it
+        if pool is not None:
+            rounded = pool.round_many(
+                [vec for _, y_it, z_it in pending for vec in (y_it, z_it)]
             )
-            obj_z, wp_z, op_z, match_z = round_heuristic(
-                problem, z_it, matcher, tracker, source="z", iteration=it
-            )
-            if obj_y >= obj_z:
-                rec = (it, obj_y, wp_y, op_y, "y", match_y)
+        for idx, (it, y_it, z_it) in enumerate(pending):
+            if pool is not None:
+                obj_y, wp_y, op_y, match_y = rounded[2 * idx]
+                obj_z, wp_z, op_z, match_z = rounded[2 * idx + 1]
+                tracker.offer(obj_y, wp_y, op_y, match_y, y_it, "y", it)
+                tracker.offer(obj_z, wp_z, op_z, match_z, z_it, "z", it)
+                if bus.active:
+                    emit_rounding(bus, pool.matcher_kind, "y", it, obj_y,
+                                  wp_y, op_y, match_y.cardinality)
+                    emit_rounding(bus, pool.matcher_kind, "z", it, obj_z,
+                                  wp_z, op_z, match_z.cardinality)
             else:
-                rec = (it, obj_z, wp_z, op_z, "z", match_z)
+                obj_y, wp_y, op_y, match_y = round_heuristic(
+                    problem, y_it, matcher, tracker, source="y",
+                    iteration=it, workspace=workspace,
+                )
+                obj_z, wp_z, op_z, match_z = round_heuristic(
+                    problem, z_it, matcher, tracker, source="z",
+                    iteration=it, workspace=workspace,
+                )
+            if obj_y >= obj_z:
+                rec = (it, obj_y, wp_y, op_y, "y", match_y, match_z)
+            else:
+                rec = (it, obj_z, wp_z, op_z, "z", match_y, match_z)
             batch_records.append(rec)
         if tracer is not None:
+            # Replay the *distinct* y- and z-rounding matchings — the
+            # batch ran 2 × batch independent tasks, and the simulated
+            # cost of each depends on the matching it produced.
             tracer.rounding_batch(
                 "rounding",
-                [r[5] for r in batch_records for _ in (0, 1)],
+                [m for r in batch_records for m in (r[5], r[6])],
                 ell,
             )
-        for it, obj, wp, op, src, _ in batch_records:
+        for it, obj, wp, op, src, _, _ in batch_records:
             history.append(
                 IterationRecord(
                     iteration=it,

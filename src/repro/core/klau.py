@@ -51,6 +51,12 @@ class KlauConfig:
     gamma: float = 0.4
     mstep: int = 25
     matcher: str = "exact"
+    #: Keep dual potentials between the Step-3 matchings
+    #: (:class:`repro.matching.warm.ExactMatcher`): ``wbar`` drifts by a
+    #: decaying subgradient step on one fixed L structure, which is the
+    #: warm-start use case.  Only meaningful with ``matcher="exact"``
+    #: (it upgrades the oracle to ``"exact-warm"``).
+    warm_start: bool = False
     u_bound: float = float("inf")
     final_exact: bool = True
     stall_tolerance: float = 1e-12
@@ -76,6 +82,17 @@ class KlauConfig:
             raise ConfigurationError(
                 f"unknown step_rule {self.step_rule!r}"
             )
+        if self.warm_start and self.matcher not in ("exact", "exact-warm"):
+            raise ConfigurationError(
+                "warm_start requires the exact matcher "
+                f"(got matcher={self.matcher!r})"
+            )
+
+    def matcher_kind(self) -> str:
+        """The rounding oracle actually instantiated for Step 3."""
+        if self.warm_start and self.matcher == "exact":
+            return "exact-warm"
+        return self.matcher
 
 
 def klau_align(
@@ -109,7 +126,7 @@ def _klau_run(
     bus,
 ) -> AlignmentResult:
     """The MR iteration body (Listing 1)."""
-    matcher: Matcher = make_matcher(config.matcher)
+    matcher: Matcher = make_matcher(config.matcher_kind())
     ell = problem.ell
     s_mat = problem.squares
     perm = problem.squares_transpose_perm
@@ -277,12 +294,13 @@ def _finalize(
         overlap_part=overlap_part,
         best_upper_bound=best_upper,
         history=history,
-        method=f"klau-mr[{config.matcher}]",
+        method=f"klau-mr[{config.matcher_kind()}]",
         params={
             "n_iter": config.n_iter,
             "gamma": config.gamma,
             "mstep": config.mstep,
             "matcher": config.matcher,
+            "warm_start": config.warm_start,
             "alpha": problem.alpha,
             "beta": problem.beta,
         },

@@ -14,18 +14,27 @@ in here:
 * ``"greedy"`` — serial sorted greedy (equivalent output, different cost);
 * ``"suitor"`` — the proposal-based ½-approximation (same output as the
   locally-dominant matcher under distinct weights);
-* ``"auction"`` — Bertsekas auction with an additive n·ε guarantee.
+* ``"auction"`` — Bertsekas auction with an additive n·ε guarantee;
+* ``"exact-warm"`` — the exact matcher with warm-started dual potentials
+  (:class:`repro.matching.warm.ExactMatcher`): optimal weight per call,
+  with the Dijkstra searches pruned by the previous call's duals when
+  the same L structure is rounded repeatedly.
+
+``RoundingWorkspace`` lets hot loops (BP's batched rounding) reuse the
+indicator and SpMV buffers across calls instead of allocating
+``O(|E_L|)`` per rounding.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Protocol
 
 import numpy as np
 
 from repro.core.problem import NetworkAlignmentProblem
 from repro.core.result import BestTracker
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DimensionError
 from repro.matching.auction import auction_matching
 from repro.matching.exact import max_weight_matching
 from repro.matching.greedy import greedy_matching
@@ -35,10 +44,18 @@ from repro.matching.locally_dominant import (
 )
 from repro.matching.result import MatchingResult
 from repro.matching.suitor import suitor_matching
+from repro.matching.warm import ExactMatcher
 from repro.observe import get_bus
 from repro.sparse.bipartite import BipartiteGraph
 
-__all__ = ["Matcher", "make_matcher", "round_heuristic", "MATCHER_KINDS"]
+__all__ = [
+    "Matcher",
+    "RoundingWorkspace",
+    "emit_rounding",
+    "make_matcher",
+    "round_heuristic",
+    "MATCHER_KINDS",
+]
 
 
 class Matcher(Protocol):
@@ -50,7 +67,8 @@ class Matcher(Protocol):
 
 
 MATCHER_KINDS = (
-    "exact", "approx", "approx-queue", "greedy", "suitor", "auction",
+    "exact", "exact-warm", "approx", "approx-queue", "greedy", "suitor",
+    "auction",
 )
 
 
@@ -59,7 +77,12 @@ def make_matcher(kind: str) -> Matcher:
 
     The returned callable carries a ``kind`` attribute so downstream
     instrumentation (``rounding`` events) can name the oracle in use.
+    ``"exact-warm"`` returns a *stateful* matcher (a fresh
+    :class:`~repro.matching.warm.ExactMatcher` per call to this factory)
+    that warm-starts successive matchings on the same L structure.
     """
+    if kind == "exact-warm":
+        return ExactMatcher(warm_start=True)
     impls: dict[str, Matcher] = {
         "exact": lambda ell, w: max_weight_matching(ell, w),
         "approx": lambda ell, w: locally_dominant_matching_vectorized(ell, w),
@@ -77,6 +100,62 @@ def make_matcher(kind: str) -> Matcher:
     return impl
 
 
+@dataclass
+class RoundingWorkspace:
+    """Reusable buffers for :func:`round_heuristic`.
+
+    One workspace per solver run eliminates the two ``O(|E_L|)``
+    allocations each rounding call otherwise pays: the 0/1 indicator
+    ``x`` and the SpMV output of the overlap term.  Buffers are
+    overwritten on every call; callers must not hold views across calls.
+    """
+
+    x: np.ndarray
+    spmv_out: np.ndarray
+
+    @classmethod
+    def for_problem(cls, problem: NetworkAlignmentProblem) -> "RoundingWorkspace":
+        m = problem.n_edges_l
+        return cls(x=np.zeros(m), spmv_out=np.empty(m))
+
+    def check(self, n_edges: int) -> None:
+        if self.x.shape != (n_edges,) or self.spmv_out.shape != (n_edges,):
+            raise DimensionError(
+                f"workspace buffers have shapes {self.x.shape}/"
+                f"{self.spmv_out.shape}, expected ({n_edges},)"
+            )
+
+
+def emit_rounding(
+    bus,
+    matcher_kind: str,
+    source: str,
+    iteration: int,
+    objective: float,
+    weight_part: float,
+    overlap_part: float,
+    cardinality: int,
+) -> None:
+    """Emit one ``rounding`` event + counters (shared with repro.accel).
+
+    The parallel rounding backend computes roundings in worker processes
+    whose buses are inactive; the parent replays the same emission
+    through this helper so the event stream is backend-independent.
+    """
+    bus.emit(
+        "rounding",
+        source=source,
+        iteration=iteration,
+        matcher=matcher_kind,
+        objective=objective,
+        weight_part=weight_part,
+        overlap_part=overlap_part,
+        cardinality=cardinality,
+    )
+    bus.metrics.counter("repro_roundings_total", matcher=matcher_kind).inc()
+    bus.metrics.histogram("repro_rounding_objective").observe(objective)
+
+
 def round_heuristic(
     problem: NetworkAlignmentProblem,
     g: np.ndarray,
@@ -85,35 +164,40 @@ def round_heuristic(
     *,
     source: str = "g",
     iteration: int = -1,
+    workspace: RoundingWorkspace | None = None,
 ) -> tuple[float, float, float, MatchingResult]:
     """Round a heuristic vector to a matching and score it.
 
     Returns ``(objective, weight_part, overlap_part, matching)`` and, if a
     :class:`BestTracker` is given, offers the result to it (keeping "track
-    of which g produced the largest objective", Table I).
+    of which g produced the largest objective", Table I).  A
+    :class:`RoundingWorkspace` makes the call allocation-free for the
+    indicator gather and the overlap SpMV (hot loops round thousands of
+    times on one problem).
     """
     if isinstance(matcher, str):
         matcher = make_matcher(matcher)
     matching = matcher(problem.ell, np.asarray(g, dtype=np.float64))
-    x = matching.indicator(problem.n_edges_l)
-    objective, weight_part, overlap_part = problem.objective_parts(x)
+    if workspace is not None:
+        workspace.check(problem.n_edges_l)
+        x = workspace.x
+        x[:] = 0.0
+        x[matching.edge_ids] = 1.0
+        spmv_out = workspace.spmv_out
+    else:
+        x = matching.indicator(problem.n_edges_l)
+        spmv_out = None
+    objective, weight_part, overlap_part = problem.objective_parts(
+        x, out=spmv_out
+    )
     if tracker is not None:
         tracker.offer(
             objective, weight_part, overlap_part, matching, g, source, iteration
         )
     bus = get_bus()
     if bus.active:
-        kind = getattr(matcher, "kind", "custom")
-        bus.emit(
-            "rounding",
-            source=source,
-            iteration=iteration,
-            matcher=kind,
-            objective=objective,
-            weight_part=weight_part,
-            overlap_part=overlap_part,
-            cardinality=matching.cardinality,
+        emit_rounding(
+            bus, getattr(matcher, "kind", "custom"), source, iteration,
+            objective, weight_part, overlap_part, matching.cardinality,
         )
-        bus.metrics.counter("repro_roundings_total", matcher=kind).inc()
-        bus.metrics.histogram("repro_rounding_objective").observe(objective)
     return objective, weight_part, overlap_part, matching

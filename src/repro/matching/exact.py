@@ -38,6 +38,107 @@ _INF = float("inf")
 _DENSE_CUTOFF = 1_500_000
 
 
+def _augment_row(
+    r: int,
+    ptr_l: list,
+    b_l: list,
+    cost_l: list,
+    shift: float,
+    u: list,
+    v: list,
+    match_row: list,
+    match_col: list,
+    n_b: int,
+) -> int:
+    """One augmenting-path search from free row ``r`` (Dijkstra step).
+
+    Maintains the successive-shortest-path invariant: dual feasibility
+    (all reduced costs non-negative) plus tightness of matched edges.
+    Any caller that establishes the same invariant — the cold solver
+    below with zero duals, or the warm-start matcher with repaired duals
+    from a previous call (:mod:`repro.matching.warm`) — may augment rows
+    in any order and reach an optimal assignment.
+
+    Returns the number of columns finalized by the search (the Dijkstra
+    "depth"; the warm-start layer reports it as the residual search
+    work).
+    """
+    lo, hi = ptr_l[r], ptr_l[r + 1]
+    dist: dict[int, float] = {}
+    pred: dict[int, int] = {}
+    done: dict[int, float] = {}
+    heap: list[tuple[float, int]] = []
+    u_r = u[r]
+    for k in range(lo, hi):
+        j = b_l[k]
+        nd = cost_l[k] - u_r - v[j]
+        if nd < dist.get(j, _INF):
+            dist[j] = nd
+            pred[j] = r
+            heappush(heap, (nd, j))
+    j_dummy = n_b + r
+    nd = shift - u_r - v[j_dummy]
+    if nd < dist.get(j_dummy, _INF):
+        dist[j_dummy] = nd
+        pred[j_dummy] = r
+        heappush(heap, (nd, j_dummy))
+
+    sink = -1
+    min_val = 0.0
+    while heap:
+        d, j = heappop(heap)
+        if j in done or d > dist.get(j, _INF):
+            continue
+        done[j] = d
+        if match_col[j] == -1:
+            sink = j
+            min_val = d
+            break
+        i = match_col[j]
+        u_i = u[i]
+        ilo, ihi = ptr_l[i], ptr_l[i + 1]
+        for k in range(ilo, ihi):
+            col = b_l[k]
+            if col in done:
+                continue
+            nd = d + cost_l[k] - u_i - v[col]
+            if nd < dist.get(col, _INF):
+                dist[col] = nd
+                pred[col] = i
+                heappush(heap, (nd, col))
+        col = n_b + i
+        if col not in done:
+            nd = d + shift - u_i - v[col]
+            if nd < dist.get(col, _INF):
+                dist[col] = nd
+                pred[col] = i
+                heappush(heap, (nd, col))
+    if sink < 0:  # pragma: no cover - own dummy is always reachable
+        raise RuntimeError("augmenting search failed to reach a free column")
+
+    # Dual updates keep all reduced costs non-negative and the matched
+    # edges tight (complementary slackness).
+    for j, dj in done.items():
+        if j == sink:
+            continue
+        v[j] += dj - min_val
+        u[match_col[j]] += min_val - dj
+    u[r] += min_val
+
+    # Augment along the predecessor chain.
+    j = sink
+    i = pred[j]
+    while True:
+        prev = match_row[i]
+        match_row[i] = j
+        match_col[j] = i
+        if i == r:
+            break
+        j = prev
+        i = pred[j]
+    return len(done)
+
+
 @observed_matcher("exact")
 def max_weight_matching(
     graph: BipartiteGraph,
@@ -101,81 +202,11 @@ def max_weight_matching(
     match_col = [-1] * n_cols  # column -> row
 
     for r in range(n_a):
-        lo, hi = ptr_l[r], ptr_l[r + 1]
-        if lo == hi:
+        if ptr_l[r] == ptr_l[r + 1]:
             continue  # no positive edge: implicitly takes its dummy
-        dist: dict[int, float] = {}
-        pred: dict[int, int] = {}
-        done: dict[int, float] = {}
-        heap: list[tuple[float, int]] = []
-        u_r = u[r]
-        for k in range(lo, hi):
-            j = b_l[k]
-            nd = cost_l[k] - u_r - v[j]
-            if nd < dist.get(j, _INF):
-                dist[j] = nd
-                pred[j] = r
-                heappush(heap, (nd, j))
-        j_dummy = n_b + r
-        nd = shift - u_r - v[j_dummy]
-        if nd < dist.get(j_dummy, _INF):
-            dist[j_dummy] = nd
-            pred[j_dummy] = r
-            heappush(heap, (nd, j_dummy))
-
-        sink = -1
-        min_val = 0.0
-        while heap:
-            d, j = heappop(heap)
-            if j in done or d > dist.get(j, _INF):
-                continue
-            done[j] = d
-            if match_col[j] == -1:
-                sink = j
-                min_val = d
-                break
-            i = match_col[j]
-            u_i = u[i]
-            ilo, ihi = ptr_l[i], ptr_l[i + 1]
-            for k in range(ilo, ihi):
-                col = b_l[k]
-                if col in done:
-                    continue
-                nd = d + cost_l[k] - u_i - v[col]
-                if nd < dist.get(col, _INF):
-                    dist[col] = nd
-                    pred[col] = i
-                    heappush(heap, (nd, col))
-            col = n_b + i
-            if col not in done:
-                nd = d + shift - u_i - v[col]
-                if nd < dist.get(col, _INF):
-                    dist[col] = nd
-                    pred[col] = i
-                    heappush(heap, (nd, col))
-        if sink < 0:  # pragma: no cover - own dummy is always reachable
-            raise RuntimeError("augmenting search failed to reach a free column")
-
-        # Dual updates keep all reduced costs non-negative and the matched
-        # edges tight (complementary slackness).
-        for j, dj in done.items():
-            if j == sink:
-                continue
-            v[j] += dj - min_val
-            u[match_col[j]] += min_val - dj
-        u[r] += min_val
-
-        # Augment along the predecessor chain.
-        j = sink
-        i = pred[j]
-        while True:
-            prev = match_row[i]
-            match_row[i] = j
-            match_col[j] = i
-            if i == r:
-                break
-            j = prev
-            i = pred[j]
+        _augment_row(
+            r, ptr_l, b_l, cost_l, shift, u, v, match_row, match_col, n_b
+        )
 
     for i in range(n_a):
         j = match_row[i]

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import math
 import threading
+import time
+from contextlib import contextmanager
 from typing import Any
 
 from repro.errors import ObservabilityError
@@ -160,6 +162,23 @@ class MetricsRegistry:
         return self._get(
             "histogram", name, labels, lambda: Histogram(buckets)
         )
+
+    @contextmanager
+    def timer(self, name: str, **labels):
+        """Time a block into the histogram ``name{labels}`` (seconds).
+
+        >>> reg = MetricsRegistry()
+        >>> with reg.timer("dispatch_seconds", backend="serial"):
+        ...     pass
+        >>> reg.histogram("dispatch_seconds", backend="serial").count
+        1
+        """
+        hist = self.histogram(name, **labels)
+        t0 = time.perf_counter()
+        try:
+            yield hist
+        finally:
+            hist.observe(time.perf_counter() - t0)
 
     def snapshot(self) -> list[dict[str, Any]]:
         """All instruments as JSON-ready rows (sorted by name, labels)."""

@@ -119,3 +119,36 @@ class TestRun:
         p = medium_instance.problem
         res = belief_propagation_align(p, BPConfig(n_iter=40))
         assert res.overlap_part > 0
+
+
+class TestTracedBatches:
+    def test_batch_replays_distinct_y_and_z_matchings(self, small_instance):
+        """Regression: the batched-rounding trace must replay the y- and
+        z-roundings as *distinct* tasks.  A past bug passed the chosen
+        matching twice per iterate, which made every task pair identical
+        and skewed the simulated task-group cost."""
+        from repro.machine.trace import AlgorithmTracer, TaskGroupTrace
+
+        tracer = AlgorithmTracer()
+        belief_propagation_align(
+            small_instance.problem,
+            BPConfig(n_iter=10, batch=4),
+            tracer,
+        )
+        pairs = []
+        for itrace in tracer.iterations:
+            for step in itrace.steps:
+                for item in step.items:
+                    if isinstance(item, TaskGroupTrace):
+                        tasks = item.tasks
+                        assert len(tasks) % 2 == 0
+                        pairs += [
+                            (tasks[i], tasks[i + 1])
+                            for i in range(0, len(tasks), 2)
+                        ]
+        assert pairs, "no batched-rounding task groups traced"
+        assert any(
+            y.total_cost != z.total_cost
+            or len(y.rounds) != len(z.rounds)
+            for y, z in pairs
+        ), "every y/z task pair is identical — batch replay is collapsing"

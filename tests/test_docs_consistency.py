@@ -80,6 +80,62 @@ def test_observe_doctests(module):
     assert results.failed == 0
 
 
+class TestMetricsDoc:
+    def test_every_emitted_metric_name_is_documented(self):
+        """Every metric name the source emits must appear in the
+        docs/observability.md metrics table."""
+        doc = DOC.read_text(encoding="utf-8")
+        src = REPO / "src" / "repro"
+        emitted = set()
+        # The instrumented namespaces; bare names in doctest examples
+        # are illustrative and deliberately unprefixed.
+        pattern = re.compile(
+            r"(?:counter|gauge|histogram)\(\s*[\"']"
+            r"((?:repro|machine)_[\w]+)[\"']"
+        )
+        for path in src.rglob("*.py"):
+            emitted |= set(pattern.findall(path.read_text(encoding="utf-8")))
+        missing = {
+            name for name in emitted if f"`{name}`" not in doc
+        }
+        assert not missing, (
+            f"metrics emitted but not documented in observability.md: "
+            f"{sorted(missing)}"
+        )
+
+
+class TestPerformanceDoc:
+    DOC = REPO / "docs" / "performance.md"
+
+    def test_documents_every_backend(self):
+        from repro.accel import BACKENDS
+
+        text = self.DOC.read_text(encoding="utf-8")
+        for backend in BACKENDS:
+            assert f"`{backend}`" in text, (
+                f"docs/performance.md does not document backend "
+                f"{backend!r}"
+            )
+
+    def test_documents_backend_and_warm_metrics(self):
+        text = self.DOC.read_text(encoding="utf-8")
+        for name in (
+            "repro_backend_worker_utilization",
+            "repro_warm_start_rows_reused_total",
+        ):
+            assert name in text
+
+    def test_cli_flags_match_doc(self):
+        """The flags the doc teaches must exist on the solve parser."""
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["solve", "dir", "--backend", "process", "--jobs", "4"]
+        )
+        assert args.backend == "process"
+        assert args.jobs == 4
+
+
 class TestDocsIndex:
     def test_readme_links_every_docs_page(self):
         readme = (REPO / "README.md").read_text(encoding="utf-8")

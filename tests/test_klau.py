@@ -27,6 +27,18 @@ class TestConfig:
         with pytest.raises(ConfigurationError):
             KlauConfig(**kwargs)
 
+    def test_warm_start_requires_exact_matcher(self):
+        KlauConfig(warm_start=True, matcher="exact")
+        with pytest.raises(ConfigurationError):
+            KlauConfig(warm_start=True, matcher="approx")
+
+    def test_matcher_kind_resolution(self):
+        assert KlauConfig(matcher="exact").matcher_kind() == "exact"
+        assert (
+            KlauConfig(matcher="exact", warm_start=True).matcher_kind()
+            == "exact-warm"
+        )
+
 
 class TestRun:
     def test_returns_valid_matching(self, small_instance):
@@ -58,6 +70,21 @@ class TestRun:
             small_instance.problem, KlauConfig(n_iter=10, matcher="approx")
         )
         check_matching(small_instance.problem.ell, res.matching)
+
+    def test_warm_start_matches_cold_exactly(self, small_instance):
+        """Warm-started Step-3 matchings are optimal per call, so the
+        whole run — iterates, bounds, objective — must be unchanged."""
+        p = small_instance.problem
+        cold = klau_align(
+            p, KlauConfig(n_iter=12, matcher="exact", warm_start=False)
+        )
+        warm = klau_align(
+            p, KlauConfig(n_iter=12, matcher="exact", warm_start=True)
+        )
+        assert warm.objective == pytest.approx(cold.objective)
+        assert warm.best_upper_bound == pytest.approx(cold.best_upper_bound)
+        assert warm.method == "klau-mr[exact-warm]"
+        assert warm.params["warm_start"] is True
 
     def test_gamma_halving_on_stall(self, small_instance):
         res = klau_align(

@@ -1,0 +1,171 @@
+"""Tests for warm-started exact matching (repro.matching.warm).
+
+The correctness bar: an :class:`ExactMatcher` call must return a
+matching of *exactly* the cold solver's optimal weight no matter what
+sequence of weight vectors preceded it — warm-starting is a pure
+performance device.  Randomized sequences (small perturbations, sign
+flips, adversarial rescaling, structure changes) drive the dual-repair +
+cascade + residual-augmentation path through its edge cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rounding import MATCHER_KINDS, make_matcher
+from repro.errors import ConfigurationError
+from repro.matching.exact import max_weight_matching
+from repro.matching.validate import check_matching
+from repro.matching.warm import ExactMatcher
+from repro.observe import EventBus, capture, set_bus
+
+from tests.helpers import random_bipartite
+
+
+def cold_weight(graph, w):
+    return max_weight_matching(graph, w, dense_cutoff=0).weight
+
+
+class TestConstruction:
+    def test_registered_matcher_kind(self):
+        assert "exact-warm" in MATCHER_KINDS
+        matcher = make_matcher("exact-warm")
+        assert isinstance(matcher, ExactMatcher)
+        assert matcher.warm_start
+
+    def test_negative_tol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExactMatcher(tol=-1e-9)
+
+    def test_fresh_instances_independent(self):
+        assert make_matcher("exact-warm") is not make_matcher("exact-warm")
+
+
+class TestOptimality:
+    def test_repeated_identical_weights_full_reuse(self, rng):
+        g = random_bipartite(rng, max_side=30, allow_negative=False)
+        matcher = ExactMatcher()
+        first = matcher(g, g.weights)
+        again = matcher(g, g.weights)
+        assert again.weight == pytest.approx(first.weight)
+        stats = matcher.last_stats
+        assert stats.warm
+        assert stats.rows_reused == stats.rows_total
+        assert stats.rows_searched == 0
+
+    def test_drifting_weights_match_cold(self, rng):
+        """Klau's scenario: same structure, slowly drifting weights."""
+        g = random_bipartite(rng, max_side=25)
+        w = rng.uniform(-1.0, 5.0, g.n_edges)
+        matcher = ExactMatcher()
+        for _ in range(12):
+            w = w + rng.normal(0.0, 0.3, g.n_edges)
+            warm = matcher(g, w)
+            assert warm.weight == pytest.approx(cold_weight(g, w))
+            check_matching(g, warm)
+
+    def test_adversarial_weight_jumps(self, rng):
+        """Sign flips and rescaling invalidate most seeds; the result
+        must still be optimal."""
+        g = random_bipartite(rng, max_side=20)
+        matcher = ExactMatcher()
+        w = rng.uniform(0.1, 4.0, g.n_edges)
+        for transform in (
+            lambda w: -w,                       # everything filtered out
+            lambda w: w * 100.0,                # shift changes scale
+            lambda w: rng.permutation(w),       # decorrelate rows
+            lambda w: np.where(w > w.mean(), -w, w + 3.0),
+        ):
+            w = transform(w)
+            warm = matcher(g, w)
+            assert warm.weight == pytest.approx(cold_weight(g, w))
+
+    def test_many_random_graphs(self, rng):
+        for _ in range(25):
+            g = random_bipartite(rng)
+            matcher = ExactMatcher()
+            for _ in range(4):
+                w = rng.uniform(-2.0, 6.0, g.n_edges)
+                assert matcher(g, w).weight == pytest.approx(
+                    cold_weight(g, w)
+                )
+
+    def test_strict_tol_zero_still_optimal(self, rng):
+        g = random_bipartite(rng, max_side=20, allow_negative=False)
+        matcher = ExactMatcher(tol=0.0)
+        for _ in range(5):
+            w = g.weights * rng.uniform(0.9, 1.1, g.n_edges)
+            assert matcher(g, w).weight == pytest.approx(cold_weight(g, w))
+
+
+class TestStateManagement:
+    def test_structure_change_invalidates(self, rng):
+        matcher = ExactMatcher()
+        g1 = random_bipartite(rng, max_side=15, allow_negative=False)
+        g2 = random_bipartite(rng, max_side=15, allow_negative=False)
+        matcher(g1, g1.weights)
+        res = matcher(g2, g2.weights)
+        assert not matcher.last_stats.warm
+        assert res.weight == pytest.approx(cold_weight(g2, g2.weights))
+
+    def test_reweighted_view_shares_state(self, rng):
+        """``with_weights`` views share endpoint arrays, so they
+        warm-start each other (the Klau wbar pattern)."""
+        g = random_bipartite(rng, max_side=20, allow_negative=False)
+        matcher = ExactMatcher()
+        matcher(g, g.weights)
+        matcher(g.with_weights(g.weights * 1.01), None)
+        assert matcher.last_stats.warm
+
+    def test_reset_forces_cold(self, rng):
+        g = random_bipartite(rng, max_side=15, allow_negative=False)
+        matcher = ExactMatcher()
+        matcher(g, g.weights)
+        matcher.reset()
+        res = matcher(g, g.weights)
+        assert not matcher.last_stats.warm
+        assert res.weight == pytest.approx(cold_weight(g, g.weights))
+
+    def test_warm_start_false_never_warms(self, rng):
+        g = random_bipartite(rng, max_side=15, allow_negative=False)
+        matcher = ExactMatcher(warm_start=False)
+        matcher(g, g.weights)
+        matcher(g, g.weights)
+        assert not matcher.last_stats.warm
+
+    def test_hit_ratio(self, rng):
+        g = random_bipartite(rng, max_side=20, allow_negative=False)
+        matcher = ExactMatcher()
+        matcher(g, g.weights)
+        assert matcher.last_stats.hit_ratio == 0.0
+        matcher(g, g.weights)
+        assert matcher.last_stats.hit_ratio == 1.0
+
+
+class TestObservability:
+    def test_metrics_and_event(self, rng):
+        g = random_bipartite(rng, max_side=15, allow_negative=False)
+        matcher = ExactMatcher()
+        bus = EventBus()
+        previous = set_bus(bus)
+        try:
+            with capture(bus=bus) as sink:
+                matcher(g, g.weights)
+                matcher(g, g.weights)
+                reused = bus.metrics.counter(
+                    "repro_warm_start_rows_reused_total"
+                ).value
+                depth = bus.metrics.histogram(
+                    "repro_warm_start_search_depth"
+                )
+                assert depth.count == 2
+            assert reused == matcher.last_stats.rows_total
+            events = [
+                e for e in sink.of_type("matching")
+                if e.fields["algorithm"] == "exact-warm"
+            ]
+            assert len(events) == 2
+            assert events[1].fields["warm"] is True
+        finally:
+            set_bus(previous)

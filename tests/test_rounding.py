@@ -4,8 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core.result import BestTracker
-from repro.core.rounding import MATCHER_KINDS, make_matcher, round_heuristic
-from repro.errors import ConfigurationError
+from repro.core.rounding import (
+    MATCHER_KINDS,
+    RoundingWorkspace,
+    make_matcher,
+    round_heuristic,
+)
+from repro.errors import ConfigurationError, DimensionError
 
 from tests.helpers import random_bipartite
 
@@ -66,6 +71,28 @@ class TestRoundHeuristic:
         round_heuristic(p, g_vec, "exact", tracker)
         g_vec[:] = -1
         assert np.all(tracker.best_vector >= 0)
+
+    def test_workspace_results_bit_identical(self, small_instance, rng):
+        """A caller-provided workspace only removes allocations; every
+        returned float must be unchanged."""
+        p = small_instance.problem
+        workspace = RoundingWorkspace.for_problem(p)
+        for i in range(4):
+            g_vec = p.weights + rng.normal(0, 0.4, p.n_edges_l)
+            plain = round_heuristic(p, g_vec, "exact")
+            reused = round_heuristic(
+                p, g_vec, "exact", workspace=workspace
+            )
+            assert plain[:3] == reused[:3]  # bit-exact, not approx
+            assert np.array_equal(plain[3].mate_a, reused[3].mate_a)
+
+    def test_workspace_wrong_size_rejected(self, small_instance):
+        p = small_instance.problem
+        bad = RoundingWorkspace(
+            x=np.zeros(p.n_edges_l + 1), spmv_out=np.zeros(p.n_edges_l)
+        )
+        with pytest.raises(DimensionError):
+            round_heuristic(p, p.weights, "exact", workspace=bad)
 
     def test_tracker_offer_ordering(self):
         tracker = BestTracker()
