@@ -1,0 +1,82 @@
+"""Flat vs multilevel wall-clock on lcsh-wiki-scale synthetics.
+
+The multilevel V-cycle (``repro.multilevel``) trades a handful of cheap
+coarse-level BP sweeps plus short fine-level refinement against the flat
+solver's full iteration count.  These benchmarks pin the claim the
+pipeline is built on: at lcsh-wiki scale (tens of thousands of vertices,
+constant average degree) a 2- or 3-level run beats flat BP by >= 2x
+wall-clock while staying within 2% of its objective.
+
+``benchmarks/run_bench.py --group multilevel`` times the same
+configurations without pytest-benchmark and records them (with the full
+``config.to_dict()`` provenance) in ``BENCH_3.json``.
+"""
+
+import pytest
+
+from repro.core import BPConfig, belief_propagation_align
+from repro.generators import powerlaw_alignment_instance
+from repro.multilevel import MultilevelConfig, multilevel_align
+
+pytestmark = pytest.mark.bench
+
+#: Constant expected L-degree regardless of n (p_perturb is a
+#: *probability* per pair; 0.02 would densify large instances).
+N = 20_000
+DEGREE = 6.0
+
+
+def flat_config() -> BPConfig:
+    return BPConfig(n_iter=100, matcher="approx", batch=8)
+
+
+def ml_config(n_levels: int) -> MultilevelConfig:
+    return MultilevelConfig(n_levels=n_levels)
+
+
+@pytest.fixture(scope="module")
+def wiki_scale_instance():
+    inst = powerlaw_alignment_instance(
+        n=N, expected_degree=DEGREE, p_perturb=8.0 / N, seed=3,
+        name=f"powerlaw-n{N}",
+    )
+    _ = inst.problem.squares  # build S outside every timed region
+    return inst
+
+
+@pytest.mark.benchmark(group="multilevel")
+def test_flat_bp(benchmark, wiki_scale_instance):
+    res = benchmark.pedantic(
+        lambda: belief_propagation_align(
+            wiki_scale_instance.problem, flat_config()
+        ),
+        rounds=1, iterations=1,
+    )
+    assert res.objective > 0
+
+
+@pytest.mark.benchmark(group="multilevel")
+@pytest.mark.parametrize("n_levels", [2, 3])
+def test_multilevel(benchmark, wiki_scale_instance, n_levels):
+    res = benchmark.pedantic(
+        lambda: multilevel_align(
+            wiki_scale_instance.problem, ml_config(n_levels)
+        ),
+        rounds=1, iterations=1,
+    )
+    assert res.objective > 0
+
+
+def test_multilevel_beats_flat(wiki_scale_instance):
+    """The acceptance claim itself, at bench scale: >= 2x, <= 2% loss."""
+    import time
+
+    p = wiki_scale_instance.problem
+    t0 = time.perf_counter()
+    flat = belief_propagation_align(p, flat_config())
+    flat_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    ml = multilevel_align(p, ml_config(2))
+    ml_s = time.perf_counter() - t0
+    assert flat_s / ml_s >= 2.0
+    assert ml.objective >= 0.98 * flat.objective

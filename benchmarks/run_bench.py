@@ -1,11 +1,14 @@
 #!/usr/bin/env python
-"""Benchmark trajectory harness: run the kernel + backend groups and
-record the results in ``BENCH_2.json`` at the repo root.
+"""Benchmark trajectory harness: run the kernel + backend groups
+(``BENCH_2.json``) and the flat-vs-multilevel comparison
+(``BENCH_3.json``) at the repo root.
 
 Usage (from the repo root)::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--out BENCH_2.json]
         [--repeats 5] [--scale 0.01] [--skip-process]
+        [--group all|kernels-backend|multilevel]
+        [--out3 BENCH_3.json] [--multilevel-n 50000]
 
 The file captures *this machine's* numbers — machine info (platform,
 CPU count, library versions) rides along so readers can judge whether a
@@ -151,35 +154,127 @@ def backend_benchmarks(
     return rows
 
 
+def multilevel_benchmarks(n: int, repeats: int) -> tuple[list[dict], dict]:
+    """Flat BP vs 2-/3-level V-cycles on a wiki-scale synthetic.
+
+    Same configurations as ``bench_multilevel.py``; each row carries the
+    solver config's full ``to_dict()`` as provenance.  Returns the rows
+    plus the instance descriptor for the BENCH_3 header.
+    """
+    from repro.core import BPConfig, belief_propagation_align
+    from repro.generators import powerlaw_alignment_instance
+    from repro.multilevel import MultilevelConfig, multilevel_align
+
+    # p_perturb is a per-pair probability: scale it as ~8/n so the
+    # expected L degree stays constant instead of densifying with n.
+    inst = powerlaw_alignment_instance(
+        n=n, expected_degree=6.0, p_perturb=8.0 / n, seed=3,
+        name=f"powerlaw-n{n}",
+    )
+    problem = inst.problem
+    _ = problem.squares  # build S once, outside every timed region
+    print(f"  n_a={problem.ell.n_a} n_b={problem.ell.n_b} "
+          f"n_edges_l={problem.n_edges_l} nnz_s={problem.squares.nnz}")
+
+    flat_cfg = BPConfig(n_iter=100, matcher="approx", batch=8)
+    runs = [("flat_bp", flat_cfg,
+             lambda: belief_propagation_align(problem, flat_cfg))]
+    for n_levels in (2, 3):
+        ml_cfg = MultilevelConfig(n_levels=n_levels)
+        runs.append((
+            f"multilevel_{n_levels}level", ml_cfg,
+            lambda cfg=ml_cfg: multilevel_align(problem, cfg),
+        ))
+
+    rows = []
+    flat_row = None
+    for name, cfg, fn in runs:
+        samples, objective = [], None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            res = fn()
+            samples.append(time.perf_counter() - t0)
+            objective = res.objective
+        row = {
+            "group": "multilevel", "name": name,
+            **summarize(samples),
+            "extra": {"objective": objective, "config": cfg.to_dict()},
+        }
+        if flat_row is None:
+            flat_row = row
+        else:
+            row["extra"]["speedup_vs_flat"] = (
+                flat_row["median_s"] / row["median_s"]
+            )
+            row["extra"]["objective_ratio_vs_flat"] = (
+                objective / flat_row["extra"]["objective"]
+            )
+        rows.append(row)
+        print(f"  multilevel/{name}: {row['median_s']:.2f} s "
+              f"objective={objective:.0f}")
+    instance = {
+        "family": "powerlaw", "n": n, "expected_degree": 6.0,
+        "p_perturb": 8.0 / n, "seed": 3,
+        "n_a": problem.ell.n_a, "n_b": problem.ell.n_b,
+        "n_edges_l": problem.n_edges_l, "nnz_s": problem.squares.nnz,
+    }
+    return rows, instance
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--out", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_2.json"))
+    ap.add_argument("--out3", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_3.json"))
     ap.add_argument("--repeats", type=int, default=5)
     ap.add_argument("--scale", type=float, default=0.01)
     ap.add_argument("--skip-process", action="store_true",
                     help="skip the process-pool rows (e.g. no /dev/shm)")
+    ap.add_argument("--group", default="all",
+                    choices=["all", "kernels-backend", "multilevel"])
+    ap.add_argument("--multilevel-n", type=int, default=50_000,
+                    help="synthetic size for the multilevel group")
+    ap.add_argument("--multilevel-repeats", type=int, default=1,
+                    help="repeats for the (long) multilevel runs")
     args = ap.parse_args(argv)
 
-    print(f"building wiki problem (scale={args.scale}) ...")
-    problem = wiki_problem(scale=args.scale)
-    print(f"  n_a={problem.ell.n_a} n_b={problem.ell.n_b} "
-          f"n_edges_l={problem.n_edges_l}")
+    if args.group in ("all", "kernels-backend"):
+        print(f"building wiki problem (scale={args.scale}) ...")
+        problem = wiki_problem(scale=args.scale)
+        print(f"  n_a={problem.ell.n_a} n_b={problem.ell.n_b} "
+              f"n_edges_l={problem.n_edges_l}")
 
-    rows = kernel_benchmarks(problem, args.repeats)
-    rows += backend_benchmarks(problem, args.repeats, args.skip_process)
+        rows = kernel_benchmarks(problem, args.repeats)
+        rows += backend_benchmarks(problem, args.repeats, args.skip_process)
 
-    doc = {
-        "schema": 1,
-        "generated_by": "benchmarks/run_bench.py",
-        "instance": {"family": "lcsh_wiki", "scale": args.scale, "seed": 3,
-                     "n_a": problem.ell.n_a, "n_b": problem.ell.n_b,
-                     "n_edges_l": problem.n_edges_l},
-        "machine": machine_info(),
-        "benchmarks": rows,
-    }
-    Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
-    print(f"wrote {args.out} ({len(rows)} benchmarks)")
+        doc = {
+            "schema": 1,
+            "generated_by": "benchmarks/run_bench.py",
+            "instance": {"family": "lcsh_wiki", "scale": args.scale,
+                         "seed": 3,
+                         "n_a": problem.ell.n_a, "n_b": problem.ell.n_b,
+                         "n_edges_l": problem.n_edges_l},
+            "machine": machine_info(),
+            "benchmarks": rows,
+        }
+        Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {args.out} ({len(rows)} benchmarks)")
+
+    if args.group in ("all", "multilevel"):
+        print(f"building powerlaw problem (n={args.multilevel_n}) ...")
+        rows3, instance = multilevel_benchmarks(
+            args.multilevel_n, args.multilevel_repeats
+        )
+        doc3 = {
+            "schema": 1,
+            "generated_by": "benchmarks/run_bench.py --group multilevel",
+            "instance": instance,
+            "machine": machine_info(),
+            "benchmarks": rows3,
+        }
+        Path(args.out3).write_text(json.dumps(doc3, indent=2) + "\n")
+        print(f"wrote {args.out3} ({len(rows3)} benchmarks)")
     return 0
 
 

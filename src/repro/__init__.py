@@ -9,27 +9,33 @@ trace-driven simulated NUMA machine reproducing its strong-scaling study.
 
 Quick start::
 
-    from repro import powerlaw_alignment_instance, belief_propagation_align
+    import repro
 
-    inst = powerlaw_alignment_instance(n=400, expected_degree=6, seed=0)
-    result = belief_propagation_align(inst.problem)
+    inst = repro.powerlaw_alignment_instance(n=400, expected_degree=6, seed=0)
+    result = repro.align(inst.problem, method="bp")
     print(result.summary())
 
-See README.md for the architecture overview and DESIGN.md for the
-paper-to-module map.
+``repro.align`` is the single entry point for every solver —
+``method="bp" | "klau" | "isorank" | "multilevel"`` — and accepts the
+method's config dataclass or a plain dict.  See README.md for the
+architecture overview and DESIGN.md for the paper-to-module map.
 """
 
 from repro.accel import ParallelConfig, parallel_map, solve_many
 from repro.core import (
     AlignmentResult,
     BPConfig,
+    IsoRankConfig,
     KlauConfig,
     NetworkAlignmentProblem,
     belief_propagation_align,
+    isorank_align,
     klau_align,
     lp_relaxation_align,
+    make_matcher,
     round_heuristic,
 )
+from repro.core.rounding import MATCHER_KINDS
 from repro.generators import (
     AlignmentInstance,
     bio_instance,
@@ -51,9 +57,22 @@ from repro.matching import (
     locally_dominant_matching_vectorized,
     max_weight_matching,
 )
+from repro.multilevel import (
+    CoarseningMap,
+    MultilevelConfig,
+    coarsen_graph,
+    multilevel_align,
+)
+from repro.registry import (
+    SolverSpec,
+    align,
+    available_methods,
+    get_solver,
+    register_solver,
+)
 from repro.sparse import BipartiteGraph, CSRMatrix
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AlignmentInstance",
@@ -61,30 +80,43 @@ __all__ = [
     "BPConfig",
     "BipartiteGraph",
     "CSRMatrix",
+    "CoarseningMap",
     "Graph",
+    "IsoRankConfig",
     "KlauConfig",
+    "MATCHER_KINDS",
     "MatchingResult",
+    "MultilevelConfig",
     "NetworkAlignmentProblem",
     "ParallelConfig",
     "SimulatedRuntime",
+    "SolverSpec",
     "__version__",
+    "align",
+    "available_methods",
     "belief_propagation_align",
     "bio_instance",
+    "coarsen_graph",
     "dmela_scere",
+    "get_solver",
     "greedy_matching",
     "homo_musm",
+    "isorank_align",
     "klau_align",
     "lcsh_rameau",
     "lcsh_wiki",
     "locally_dominant_matching",
     "locally_dominant_matching_vectorized",
     "lp_relaxation_align",
+    "make_matcher",
     "max_weight_matching",
+    "multilevel_align",
     "observe",
     "ontology_instance",
     "parallel_map",
     "powerlaw_alignment_instance",
     "powerlaw_graph",
+    "register_solver",
     "round_heuristic",
     "solve_many",
     "xeon_e7_8870",

@@ -22,6 +22,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+from repro.configtools import ConfigBase
 from repro.errors import ConfigurationError
 
 __all__ = ["BACKENDS", "ParallelConfig"]
@@ -31,7 +32,7 @@ BACKENDS = ("serial", "threaded", "process")
 
 
 @dataclass(frozen=True)
-class ParallelConfig:
+class ParallelConfig(ConfigBase):
     """How to fan independent work units out.
 
     Attributes
@@ -55,6 +56,10 @@ class ParallelConfig:
     n_workers: int = 0
     chunk: int = 1
     start_method: str = "fork"
+    #: Accepted on every public config (common surface, round-tripped by
+    #: ``to_dict``/``from_dict``); backend scheduling is deterministic
+    #: per the bit-identical contract and does not consume it.
+    seed: int | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:

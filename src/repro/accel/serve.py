@@ -1,9 +1,12 @@
 """Batch serving: schedule whole alignment instances across the pool.
 
 ``solve_many`` is the unit of work a traffic-serving deployment sees: a
-list of independent problems to align.  Each problem is solved by the
-ordinary solver entry points; the backend only decides *where* the runs
-execute.  Results come back in input order.
+list of independent problems to align.  Each problem is solved through
+the :mod:`repro.registry` facade (the same dispatch as
+:func:`repro.align`), so every registered method — ``bp``, ``klau``
+(alias ``mr``), ``isorank``, ``multilevel`` — is available; the backend
+only decides *where* the runs execute.  Results come back in input
+order.
 
 The process backend ships each problem to a worker by pickle (problems
 are independent here, unlike the batched-rounding path where one problem
@@ -20,25 +23,19 @@ from repro.accel.config import ParallelConfig
 from repro.accel.pool import parallel_map
 from repro.core.problem import NetworkAlignmentProblem
 from repro.core.result import AlignmentResult
-from repro.errors import ConfigurationError
 from repro.observe import get_bus
 
 __all__ = ["solve_many"]
-
-#: Solver names accepted by :func:`solve_many` (``"mr"`` = Klau).
-METHODS = ("bp", "mr", "klau")
 
 
 def _solve_one(task: tuple) -> AlignmentResult:
     """Module-level task body (must be picklable for the process pool)."""
     problem, method, config = task
-    if method == "bp":
-        from repro.core.bp import belief_propagation_align
+    # Imported lazily: repro.registry imports this package's config
+    # module, so a module-level import here would be circular.
+    from repro.registry import align
 
-        return belief_propagation_align(problem, config)
-    from repro.core.klau import klau_align
-
-    return klau_align(problem, config)
+    return align(problem, method, config)
 
 
 def solve_many(
@@ -54,26 +51,25 @@ def solve_many(
     problems:
         Independent alignment instances.
     method:
-        ``"bp"`` or ``"mr"``/``"klau"``.
+        Any method known to the solver registry: ``"bp"``,
+        ``"klau"``/``"mr"``, ``"isorank"``, or ``"multilevel"``.
     config:
-        Optional solver config (:class:`~repro.core.bp.BPConfig` or
-        :class:`~repro.core.klau.KlauConfig`), shared by all runs.
+        Optional solver config (the method's config dataclass or a
+        mapping for its ``from_dict``), shared by all runs.
     parallel:
         Backend selection; default serial.  Solver-internal events are
         emitted only by backends sharing the parent process (worker
         buses are silenced); the batch itself is traced as an
         ``accel.solve_many`` span either way.
     """
-    if method not in METHODS:
-        raise ConfigurationError(
-            f"unknown method {method!r}; expected one of {METHODS}"
-        )
-    method = "mr" if method == "klau" else method
+    from repro.registry import get_solver
+
+    spec = get_solver(method)  # raises ConfigurationError when unknown
     parallel = parallel or ParallelConfig()
     bus = get_bus()
     with bus.trace(
-        "accel.solve_many", method=method, backend=parallel.backend,
+        "accel.solve_many", method=spec.name, backend=parallel.backend,
         n_problems=len(problems),
     ):
-        tasks = [(p, method, config) for p in problems]
+        tasks = [(p, spec.name, config) for p in problems]
         return parallel_map(_solve_one, tasks, parallel)

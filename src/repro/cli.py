@@ -180,38 +180,62 @@ def _cmd_headline(args: argparse.Namespace) -> None:
           f"(paper: ~10 minutes -> 36 seconds, ~15-20x)")
 
 
+def _solve_config(args: argparse.Namespace) -> dict:
+    """Merge ``--config`` JSON with the explicit CLI flags.
+
+    Explicit flags win over the JSON file; where neither is given, bp/mr
+    keep their historical CLI defaults (100 iterations, ``approx``
+    matcher) and the other methods fall back to their config dataclass
+    defaults.  ``--iters``/``--matcher``/``--batch`` map onto the
+    multilevel coarsest-solve knobs.
+    """
+    import json
+
+    cfg: dict = {}
+    if args.config:
+        with open(args.config, "r", encoding="utf-8") as fh:
+            cfg = dict(json.load(fh))
+    if args.method == "multilevel":
+        keys = {"iters": "coarsest_iters", "matcher": "coarsest_matcher",
+                "batch": "batch"}
+    else:
+        keys = {"iters": "n_iter", "matcher": "matcher"}
+        if args.method == "bp":
+            keys["batch"] = "batch"
+    for flag, key in keys.items():
+        value = getattr(args, flag)
+        if value is not None:
+            cfg[key] = value
+    if args.method in ("bp", "mr"):
+        cfg.setdefault("n_iter", 100)
+        cfg.setdefault("matcher", "approx")
+    return cfg
+
+
 def _cmd_solve(args: argparse.Namespace) -> None:
-    from repro.core import (
-        BPConfig, KlauConfig, belief_propagation_align, klau_align,
-    )
     from repro.generators.io import load_alignment_problem
+    from repro.registry import align, get_solver
 
     problem = load_alignment_problem(
         args.directory, alpha=args.alpha, beta=args.beta
     )
-    if args.method == "bp":
-        parallel = None
-        if args.backend != "serial":
+    spec = get_solver(args.method)
+    parallel = None
+    if args.backend != "serial":
+        if spec.supports_parallel:
             from repro.accel import ParallelConfig
 
             parallel = ParallelConfig(
                 backend=args.backend, n_workers=args.jobs
             )
-        res = belief_propagation_align(
-            problem,
-            BPConfig(n_iter=args.iters, matcher=args.matcher,
-                     batch=args.batch),
-            parallel=parallel,
-        )
-    else:
-        if args.backend != "serial":
+        else:
             print(
-                "note: --backend applies to BP's batched rounding; "
-                "mr runs serially", file=sys.stderr,
+                f"note: --backend applies to methods with batched "
+                f"rounding; {args.method} runs serially", file=sys.stderr,
             )
-        res = klau_align(
-            problem, KlauConfig(n_iter=args.iters, matcher=args.matcher)
-        )
+    res = align(
+        problem, args.method, _solve_config(args), parallel=parallel
+    )
     print(res.summary())
     if args.report:
         from repro.analysis import alignment_report
@@ -370,15 +394,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("solve", help="solve an SMAT problem directory")
     p.add_argument("directory")
-    p.add_argument("--method", choices=["bp", "mr"], default="bp")
+    p.add_argument(
+        "--method", choices=["bp", "mr", "isorank", "multilevel"],
+        default="bp",
+        help="any repro.align() method (mr = Klau's matching relaxation)",
+    )
+    p.add_argument(
+        "--config", default=None, metavar="PATH",
+        help="JSON file fed through the method config's from_dict(); "
+             "explicit flags below override its entries",
+    )
     p.add_argument(
         "--matcher",
-        choices=["exact", "exact-warm", "approx", "greedy", "suitor",
-                 "auction"],
-        default="approx",
+        choices=["exact", "exact-warm", "approx", "approx-queue",
+                 "greedy", "suitor", "auction"],
+        default=None,
+        help="rounding matcher (multilevel: the coarsest-solve matcher); "
+             "default approx for bp/mr",
     )
-    p.add_argument("--iters", type=int, default=100)
-    p.add_argument("--batch", type=int, default=1)
+    p.add_argument("--iters", type=int, default=None,
+                   help="solver iterations (multilevel: coarsest_iters); "
+                        "default 100 for bp/mr")
+    p.add_argument("--batch", type=int, default=None)
     p.add_argument(
         "--backend", choices=["serial", "threaded", "process"],
         default="serial",

@@ -24,6 +24,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.configtools import ConfigBase
 from repro.core.othermax import othermax_col, othermax_row
 from repro.core.problem import NetworkAlignmentProblem
 from repro.core.result import AlignmentResult, BestTracker, IterationRecord
@@ -43,13 +44,15 @@ __all__ = ["BPConfig", "belief_propagation_align"]
 
 
 @dataclass(frozen=True)
-class BPConfig:
+class BPConfig(ConfigBase):
     """Parameters of the BP method.
 
     ``batch`` is the paper's rounding batch size ``r`` (number of stored
     weight vectors; each iteration produces two, so a flush happens every
     ``max(1, r // 2)`` iterations).  ``matcher`` picks the rounding
-    oracle.  ``gamma`` is the damping base of Step 5.
+    oracle.  ``gamma`` is the damping base of Step 5.  Serializes via
+    :meth:`~repro.configtools.ConfigBase.to_dict` /
+    :meth:`~repro.configtools.ConfigBase.from_dict`.
     """
 
     n_iter: int = 100
@@ -63,6 +66,10 @@ class BPConfig:
     #: "none"   — raw message updates (BP may oscillate; rounding still
     #:            scores every iterate, so the best is kept).
     damping: str = "power"
+    #: Accepted on every public config (common surface, round-tripped by
+    #: ``to_dict``/``from_dict``); BP itself is deterministic and does
+    #: not consume it.
+    seed: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_iter < 1:
@@ -81,6 +88,7 @@ def belief_propagation_align(
     tracer: Any | None = None,
     *,
     parallel: "ParallelConfig | None" = None,
+    init_messages: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> AlignmentResult:
     """Run the BP message-passing method on ``problem``.
 
@@ -96,6 +104,12 @@ def belief_propagation_align(
     process backend fans them out over shared memory.  Results are
     bit-identical to the serial path for stateless matchers (see
     ``docs/performance.md``).
+
+    ``init_messages`` optionally warm-starts the message vectors: a
+    ``(y0, z0)`` pair of length ``|E_L|`` (both copied).  The multilevel
+    V-cycle (:mod:`repro.multilevel`) uses this to seed each refine pass
+    from the expanded coarse solution; default ``None`` keeps the
+    all-zeros cold start of Listing 2.
     """
     config = config or BPConfig()
     bus = get_bus()
@@ -108,8 +122,9 @@ def belief_propagation_align(
             from repro.accel.pool import RoundingPool
 
             with RoundingPool(problem, config.matcher, parallel) as pool:
-                return _bp_run(problem, config, tracer, bus, pool)
-        return _bp_run(problem, config, tracer, bus, None)
+                return _bp_run(problem, config, tracer, bus, pool,
+                               init_messages)
+        return _bp_run(problem, config, tracer, bus, None, init_messages)
 
 
 def _bp_run(
@@ -118,6 +133,7 @@ def _bp_run(
     tracer: Any | None,
     bus,
     pool: "RoundingPool | None" = None,
+    init_messages: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> AlignmentResult:
     """The BP iteration body (Listing 2)."""
     matcher: Matcher = make_matcher(config.matcher)
@@ -131,8 +147,17 @@ def _bp_run(
     rows_nz = s_mat.row_of_nonzero()
 
     # Messages and preallocated temporaries (no allocation inside the loop).
-    y = np.zeros(m)
-    z = np.zeros(m)
+    if init_messages is None:
+        y = np.zeros(m)
+        z = np.zeros(m)
+    else:
+        y0, z0 = init_messages
+        y = np.array(y0, dtype=np.float64, copy=True)
+        z = np.array(z0, dtype=np.float64, copy=True)
+        if y.shape != (m,) or z.shape != (m,):
+            raise ConfigurationError(
+                f"init_messages must be two vectors of length {m}"
+            )
     sk = np.zeros(nnz)
     y_new = np.empty(m)
     z_new = np.empty(m)
@@ -180,12 +205,12 @@ def _bp_run(
                                   wp_z, op_z, match_z.cardinality)
             else:
                 obj_y, wp_y, op_y, match_y = round_heuristic(
-                    problem, y_it, matcher, tracker, source="y",
-                    iteration=it, workspace=workspace,
+                    problem, y_it, matcher=matcher, tracker=tracker,
+                    source="y", iteration=it, workspace=workspace,
                 )
                 obj_z, wp_z, op_z, match_z = round_heuristic(
-                    problem, z_it, matcher, tracker, source="z",
-                    iteration=it, workspace=workspace,
+                    problem, z_it, matcher=matcher, tracker=tracker,
+                    source="z", iteration=it, workspace=workspace,
                 )
             if obj_y >= obj_z:
                 rec = (it, obj_y, wp_y, op_y, "y", match_y, match_z)
@@ -316,7 +341,7 @@ def _finalize(
     matching = tracker.best_matching
     if config.final_exact and tracker.best_vector is not None:
         obj_e, wp_e, op_e, match_e = round_heuristic(
-            problem, tracker.best_vector, "exact"
+            problem, tracker.best_vector, matcher="exact"
         )
         if obj_e >= objective:
             objective, weight_part, overlap_part, matching = (

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.configtools import ConfigBase
 from repro.core.problem import NetworkAlignmentProblem
 from repro.core.result import AlignmentResult, IterationRecord
 from repro.core.rounding import round_heuristic
@@ -32,7 +33,7 @@ __all__ = ["IsoRankConfig", "isorank_align", "isorank_scores"]
 
 
 @dataclass(frozen=True)
-class IsoRankConfig:
+class IsoRankConfig(ConfigBase):
     """Parameters of the IsoRank-style iteration.
 
     ``mu`` balances topology (the S walk) against the similarity prior
@@ -44,6 +45,10 @@ class IsoRankConfig:
     n_iter: int = 100
     tolerance: float = 1e-9
     matcher: str = "exact"
+    #: Accepted on every public config (common surface, round-tripped by
+    #: ``to_dict``/``from_dict``); the power iteration is deterministic
+    #: and does not consume it.
+    seed: int | None = None
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.mu < 1.0):
@@ -107,7 +112,7 @@ def isorank_align(
     with bus.trace("isorank.align", matcher=config.matcher, mu=config.mu):
         scores, iterations = isorank_scores(problem, config)
         obj, weight_part, overlap_part, matching = round_heuristic(
-            problem, scores, config.matcher
+            problem, scores, matcher=config.matcher
         )
     record = IterationRecord(
         iteration=iterations,

@@ -22,6 +22,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.configtools import ConfigBase
 from repro.core.problem import NetworkAlignmentProblem
 from repro.core.result import AlignmentResult, BestTracker, IterationRecord
 from repro.core.rounding import Matcher, make_matcher, round_heuristic
@@ -33,7 +34,7 @@ __all__ = ["KlauConfig", "klau_align"]
 
 
 @dataclass(frozen=True)
-class KlauConfig:
+class KlauConfig(ConfigBase):
     """Parameters of Klau's method.
 
     ``gamma`` and ``mstep`` follow the paper's scaling experiments
@@ -68,6 +69,10 @@ class KlauConfig:
     #: the method "can actually detect when it has reached the optimal
     #: point" (§III-A).
     gap_tolerance: float = 1e-9
+    #: Accepted on every public config (common surface, round-tripped by
+    #: ``to_dict``/``from_dict``); Klau's method is deterministic and
+    #: does not consume it.
+    seed: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_iter < 1:
@@ -281,7 +286,7 @@ def _finalize(
     matching = tracker.best_matching
     if config.final_exact and tracker.best_vector is not None:
         obj_e, wp_e, op_e, match_e = round_heuristic(
-            problem, tracker.best_vector, "exact"
+            problem, tracker.best_vector, matcher="exact"
         )
         if obj_e >= objective:
             objective, weight_part, overlap_part, matching = (

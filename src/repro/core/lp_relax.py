@@ -93,7 +93,7 @@ def lp_relaxation_align(
     """LP relaxation + one rounding step (the §III baseline)."""
     scores, lp_value = lp_relaxation_scores(problem)
     obj, weight_part, overlap_part, matching = round_heuristic(
-        problem, scores, matcher
+        problem, scores, matcher=matcher
     )
     record = IterationRecord(
         iteration=1,

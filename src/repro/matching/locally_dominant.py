@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro._util import asarray_f64
+from repro._util import asarray_f64, asarray_i64
 from repro.errors import ConfigurationError, DimensionError
 from repro.matching.instrument import observed_matcher
 from repro.matching.result import MatchingResult, RoundStats
@@ -37,6 +37,7 @@ from repro.sparse.bipartite import BipartiteGraph
 __all__ = [
     "locally_dominant_matching",
     "locally_dominant_matching_vectorized",
+    "locally_dominant_mates",
 ]
 
 
@@ -205,15 +206,49 @@ def locally_dominant_matching_vectorized(
     Phase-2 ``while`` iterations.
     """
     indptr, neighbors, hw = _general_graph_arrays(graph, weights)
-    n = graph.n_a + graph.n_b
+    mate, rounds = locally_dominant_mates(
+        indptr, neighbors, hw,
+        collect_rounds=collect_rounds, max_rounds=max_rounds,
+    )
+    mate_a = np.where(
+        mate[: graph.n_a] >= 0, mate[: graph.n_a] - graph.n_a, -1
+    ).astype(np.int64)
+    w_vec = graph.weights if weights is None else asarray_f64(weights)
+    return MatchingResult.from_mates(graph, mate_a, weights=w_vec, rounds=rounds)
+
+
+def locally_dominant_mates(
+    indptr: np.ndarray,
+    neighbors: np.ndarray,
+    half_weights: np.ndarray,
+    *,
+    collect_rounds: bool = True,
+    max_rounds: int | None = None,
+) -> tuple[np.ndarray, list[RoundStats]]:
+    """Locally-dominant matching over a *general* undirected graph.
+
+    The vectorized rounds core shared by the bipartite rounding path
+    (which feeds L "by not making a distinction between the two sets of
+    vertices") and the multilevel coarsener (which matches heavy edges
+    of A and B directly).  ``indptr``/``neighbors``/``half_weights`` is
+    the half-edge CSR adjacency of an undirected graph on
+    ``len(indptr) - 1`` vertices; returns the symmetric mate array
+    (``-1`` = unmatched) plus per-round stats.  Tie-breaking is the
+    paper's: heavier edge wins, equal weights prefer the smaller
+    neighbor id.
+    """
+    indptr = asarray_i64(indptr)
+    neighbors = asarray_i64(neighbors)
+    n = len(indptr) - 1
     n_half = len(neighbors)
     mate = np.full(n, -1, dtype=np.int64)
     rounds: list[RoundStats] = []
     if n_half == 0:
-        return MatchingResult.from_mates(
-            graph, mate[: graph.n_a], weights=weights
-        )
+        return mate, rounds
 
+    hw = asarray_f64(half_weights)
+    if hw.shape != (n_half,):
+        raise DimensionError("half_weights has wrong length")
     degrees = np.diff(indptr)
     src = np.repeat(np.arange(n, dtype=np.int64), degrees)
     nonempty = degrees > 0
@@ -274,8 +309,4 @@ def locally_dominant_matching_vectorized(
         queue_size = len(newly)
         round_index += 1
 
-    mate_a = np.where(
-        mate[: graph.n_a] >= 0, mate[: graph.n_a] - graph.n_a, -1
-    ).astype(np.int64)
-    w_vec = graph.weights if weights is None else asarray_f64(weights)
-    return MatchingResult.from_mates(graph, mate_a, weights=w_vec, rounds=rounds)
+    return mate, rounds

@@ -1,0 +1,34 @@
+"""Multilevel coarsen–align–refine pipeline (V-cycle) for network alignment.
+
+Public surface:
+
+* :class:`~repro.multilevel.coarsen.CoarseningMap`,
+  :func:`~repro.multilevel.coarsen.coarsen_graph`,
+  :func:`~repro.multilevel.coarsen.project_ell` — the coarsening layer;
+* :class:`~repro.multilevel.vcycle.MultilevelConfig`,
+  :func:`~repro.multilevel.vcycle.multilevel_align` — the V-cycle driver.
+
+See ``docs/multilevel.md`` for the cycle diagram and when to prefer a
+multilevel run over a flat solver.
+"""
+
+from repro.multilevel.coarsen import (
+    CoarsenedGraph,
+    CoarseningMap,
+    EllProjection,
+    coarsen_graph,
+    project_ell,
+    project_squares,
+)
+from repro.multilevel.vcycle import MultilevelConfig, multilevel_align
+
+__all__ = [
+    "CoarsenedGraph",
+    "CoarseningMap",
+    "EllProjection",
+    "MultilevelConfig",
+    "coarsen_graph",
+    "multilevel_align",
+    "project_ell",
+    "project_squares",
+]

@@ -35,6 +35,9 @@ Event types
 ``metric``
     A metrics-registry snapshot row, published via
     :meth:`repro.observe.metrics.MetricsRegistry.publish`.
+``multilevel_level``
+    One V-cycle level transition (coarsen / solve / refine) with the
+    level's problem sizes; emitted by ``multilevel/vcycle.py``.
 
 >>> validate_event("iteration", {
 ...     "method": "bp", "iteration": 1, "objective": 2.0,
@@ -75,6 +78,7 @@ EVENT_TYPES: dict[str, tuple[str, ...]] = {
     "trace_replay": ("kind", "step", "seconds"),
     "barrier": ("step", "n_threads", "seconds"),
     "metric": ("metric", "metric_kind", "labels", "value"),
+    "multilevel_level": ("level", "action", "n_a", "n_b", "n_edges_l"),
 }
 
 

@@ -1,0 +1,206 @@
+"""The unified solver entry point: ``repro.align(problem, method=...)``.
+
+Every alignment method the library implements — BP, Klau's MR, the
+IsoRank baseline, and the multilevel V-cycle — registers a
+:class:`SolverSpec` mapping its method string to its config class and
+solve function.  :func:`align` is then one call for all of them:
+
+>>> import repro
+>>> result = repro.align(problem, method="bp")                # doctest: +SKIP
+>>> result = repro.align(problem, method="multilevel",        # doctest: +SKIP
+...                      config={"n_levels": 3, "refine_iters": 5})
+
+``config`` accepts the method's config dataclass, a plain mapping (fed
+through the config's ``from_dict``, so JSON round-trips), or ``None``
+for defaults.  ``parallel`` (a :class:`repro.accel.ParallelConfig`) and
+``trace`` (an :class:`repro.machine.trace.AlgorithmTracer`) forward to
+methods that support them and raise :class:`ConfigurationError` on ones
+that do not — silently dropping a requested backend would misreport
+benchmarks.
+
+The registry is intentionally open: downstream code can
+``register_solver`` its own spec and dispatch through the same facade
+(and through :func:`repro.accel.serve.solve_many`, which resolves
+methods here too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.accel.config import ParallelConfig
+from repro.core.bp import BPConfig, belief_propagation_align
+from repro.core.isorank import IsoRankConfig, isorank_align
+from repro.core.klau import KlauConfig, klau_align
+from repro.core.problem import NetworkAlignmentProblem
+from repro.core.result import AlignmentResult
+from repro.errors import ConfigurationError
+from repro.multilevel import MultilevelConfig, multilevel_align
+
+__all__ = [
+    "SolverSpec",
+    "align",
+    "available_methods",
+    "get_solver",
+    "register_solver",
+]
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """One registered alignment method.
+
+    ``solve`` is called as ``solve(problem, config, tracer=..,
+    parallel=..)``; the two keyword arguments are only passed when the
+    corresponding ``supports_*`` flag is set, so plain
+    ``(problem, config)`` solvers register without adapters.
+    """
+
+    name: str
+    config_cls: type
+    solve: Callable[..., AlignmentResult]
+    aliases: tuple[str, ...] = ()
+    supports_parallel: bool = False
+    supports_trace: bool = False
+
+
+_REGISTRY: dict[str, SolverSpec] = {}
+
+
+def register_solver(spec: SolverSpec) -> SolverSpec:
+    """Add a solver to the registry (name and aliases must be free)."""
+    for key in (spec.name, *spec.aliases):
+        if key in _REGISTRY:
+            raise ConfigurationError(
+                f"solver name {key!r} is already registered"
+            )
+    for key in (spec.name, *spec.aliases):
+        _REGISTRY[key] = spec
+    return spec
+
+
+def get_solver(method: str) -> SolverSpec:
+    """Resolve a method string (name or alias) to its spec."""
+    spec = _REGISTRY.get(method)
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown method {method!r}; expected one of "
+            f"{available_methods()} (aliases: "
+            f"{sorted(k for k, s in _REGISTRY.items() if k != s.name)})"
+        )
+    return spec
+
+
+def available_methods() -> list[str]:
+    """Primary method names, sorted (aliases not repeated)."""
+    return sorted({spec.name for spec in _REGISTRY.values()})
+
+
+def _coerce_config(spec: SolverSpec, config: Any) -> Any:
+    if config is None:
+        return spec.config_cls()
+    if isinstance(config, spec.config_cls):
+        return config
+    if isinstance(config, Mapping):
+        return spec.config_cls.from_dict(config)
+    raise ConfigurationError(
+        f"method {spec.name!r} expects a {spec.config_cls.__name__} "
+        f"(or a mapping for from_dict), got {type(config).__name__}"
+    )
+
+
+def align(
+    problem: NetworkAlignmentProblem,
+    method: str = "bp",
+    config: Any = None,
+    *,
+    parallel: ParallelConfig | None = None,
+    trace: Any | None = None,
+) -> AlignmentResult:
+    """Align ``problem`` with the named method.
+
+    Parameters
+    ----------
+    problem:
+        The alignment instance.
+    method:
+        ``"bp"``, ``"klau"`` (alias ``"mr"``), ``"isorank"``, or
+        ``"multilevel"`` — or any name added via
+        :func:`register_solver`.
+    config:
+        The method's config dataclass, a mapping (``from_dict``), or
+        ``None`` for defaults.
+    parallel:
+        Execution backend for methods that fan work out (BP's batched
+        rounding, the multilevel refine passes).
+    trace:
+        A work-trace collector (:class:`~repro.machine.trace.AlgorithmTracer`)
+        for methods that record replayable machine traces.
+    """
+    spec = get_solver(method)
+    cfg = _coerce_config(spec, config)
+    kwargs: dict[str, Any] = {}
+    if parallel is not None:
+        if not spec.supports_parallel:
+            raise ConfigurationError(
+                f"method {spec.name!r} does not support parallel execution"
+            )
+        kwargs["parallel"] = parallel
+    if trace is not None:
+        if not spec.supports_trace:
+            raise ConfigurationError(
+                f"method {spec.name!r} does not support work tracing"
+            )
+        kwargs["tracer"] = trace
+    return spec.solve(problem, cfg, **kwargs)
+
+
+def _bp_solve(problem, config, tracer=None, parallel=None):
+    return belief_propagation_align(
+        problem, config, tracer, parallel=parallel
+    )
+
+
+def _klau_solve(problem, config, tracer=None):
+    return klau_align(problem, config, tracer)
+
+
+def _isorank_solve(problem, config):
+    return isorank_align(problem, config)
+
+
+def _multilevel_solve(problem, config, tracer=None, parallel=None):
+    return multilevel_align(problem, config, tracer, parallel=parallel)
+
+
+register_solver(
+    SolverSpec(
+        name="bp",
+        config_cls=BPConfig,
+        solve=_bp_solve,
+        supports_parallel=True,
+        supports_trace=True,
+    )
+)
+register_solver(
+    SolverSpec(
+        name="klau",
+        config_cls=KlauConfig,
+        solve=_klau_solve,
+        aliases=("mr",),
+        supports_trace=True,
+    )
+)
+register_solver(
+    SolverSpec(name="isorank", config_cls=IsoRankConfig, solve=_isorank_solve)
+)
+register_solver(
+    SolverSpec(
+        name="multilevel",
+        config_cls=MultilevelConfig,
+        solve=_multilevel_solve,
+        supports_parallel=True,
+        supports_trace=True,
+    )
+)

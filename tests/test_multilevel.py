@@ -1,0 +1,292 @@
+"""Tests for the multilevel coarsen–align–refine pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DimensionError, ValidationError
+from repro.generators import powerlaw_alignment_instance
+from repro.graph import Graph
+from repro.multilevel import (
+    CoarseningMap,
+    MultilevelConfig,
+    coarsen_graph,
+    multilevel_align,
+    project_ell,
+    project_squares,
+)
+from repro.sparse import BipartiteGraph
+
+
+def path_graph(n):
+    idx = np.arange(n - 1)
+    return Graph(n, idx, idx + 1)
+
+
+class TestCoarseningMap:
+    def test_composition_golden(self):
+        """Two hand-written levels compose into the hand-computed map."""
+        fine_to_mid = CoarseningMap(6, 3, np.array([0, 0, 1, 1, 2, 2]))
+        mid_to_coarse = CoarseningMap(3, 2, np.array([0, 1, 1]))
+        composed = fine_to_mid.compose(mid_to_coarse)
+        assert composed.n_fine == 6
+        assert composed.n_coarse == 2
+        np.testing.assert_array_equal(
+            composed.fine_to_coarse, [0, 0, 1, 1, 1, 1]
+        )
+
+    def test_composition_matches_nested_gather(self):
+        """compose() equals applying the two prolongs in sequence."""
+        rng = np.random.default_rng(0)
+        g = path_graph(40)
+        c1 = coarsen_graph(g)
+        c2 = coarsen_graph(c1.graph, c1.edge_weights)
+        composed = c1.cmap.compose(c2.cmap)
+        v = rng.normal(size=c2.cmap.n_coarse)
+        np.testing.assert_array_equal(
+            composed.prolong(v), c1.cmap.prolong(c2.cmap.prolong(v))
+        )
+
+    def test_compose_shape_mismatch(self):
+        a = CoarseningMap(4, 2, np.array([0, 0, 1, 1]))
+        b = CoarseningMap(3, 2, np.array([0, 1, 1]))
+        with pytest.raises(DimensionError):
+            a.compose(b)
+
+    def test_rejects_non_surjective(self):
+        with pytest.raises(ValidationError):
+            CoarseningMap(3, 3, np.array([0, 0, 1]))
+
+    def test_restrict_sum_adjoint_of_prolong(self):
+        """<restrict(x), y>_coarse == <x, prolong(y)>_fine."""
+        rng = np.random.default_rng(1)
+        cmap = coarsen_graph(path_graph(30)).cmap
+        x = rng.normal(size=cmap.n_fine)
+        y = rng.normal(size=cmap.n_coarse)
+        assert cmap.restrict_sum(x) @ y == pytest.approx(
+            x @ cmap.prolong(y)
+        )
+
+
+class TestCoarsenGraph:
+    def test_path_collapses_pairs(self):
+        c = coarsen_graph(path_graph(10))
+        assert c.cmap.n_coarse < 10
+        assert set(c.cmap.block_sizes()) <= {1, 2}
+        # collapsing a path yields a path on the supernodes
+        assert c.graph.n == c.cmap.n_coarse
+
+    def test_weights_are_summed_multiplicities(self):
+        # Two triangles sharing an edge: collapsing the shared edge
+        # merges its endpoints and the two parallel survivors sum.
+        g = Graph(4, np.array([0, 0, 1, 1, 2]), np.array([1, 2, 2, 3, 3]))
+        w = np.array([1.0, 1.0, 10.0, 1.0, 1.0])  # edge (1,2) dominates
+        c = coarsen_graph(g, w)
+        assert c.cmap.fine_to_coarse[1] == c.cmap.fine_to_coarse[2]
+        assert c.edge_weights.sum() == pytest.approx(4.0)
+
+    def test_max_degree_sparsifies(self):
+        inst = powerlaw_alignment_instance(n=200, expected_degree=6, seed=7)
+        g = inst.problem.a_graph
+        full = coarsen_graph(g)
+        capped = coarsen_graph(g, max_degree=2)
+        # same collapse (the cap applies after matching) but fewer edges;
+        # the "or" keep rule can exceed k at hubs another vertex ranks,
+        # so assert the aggregate bound: at most 2k half-edge slots.
+        np.testing.assert_array_equal(
+            capped.cmap.fine_to_coarse, full.cmap.fine_to_coarse
+        )
+        assert capped.graph.m < full.graph.m
+        assert capped.graph.m <= 2 * 2 * capped.graph.n
+
+
+class TestEllProjection:
+    def build(self, max_degree=0):
+        ell = BipartiteGraph.from_edges(
+            6, 6,
+            np.array([0, 0, 1, 2, 3, 4, 5, 5]),
+            np.array([0, 1, 1, 2, 3, 4, 4, 5]),
+            np.arange(1.0, 9.0),
+        )
+        map_a = CoarseningMap(6, 3, np.array([0, 0, 1, 1, 2, 2]))
+        map_b = CoarseningMap(6, 3, np.array([0, 0, 1, 1, 2, 2]))
+        return project_ell(ell, map_a, map_b, max_degree=max_degree), ell
+
+    def test_prior_projection_round_trip_golden(self):
+        """Without sparsification, restrict_sum(prolong(v)) scales each
+        coarse entry by exactly its fine multiplicity."""
+        proj, _ = self.build()
+        rng = np.random.default_rng(3)
+        v = rng.normal(size=proj.ell.n_edges)
+        np.testing.assert_allclose(
+            proj.restrict_sum(proj.prolong(v)),
+            proj.multiplicities() * v,
+        )
+        assert (proj.edge_map >= 0).all()
+        assert proj.multiplicities().sum() == 8  # every fine edge lands
+
+    def test_coarse_weights_sum_fine_weights(self):
+        proj, ell = self.build()
+        np.testing.assert_allclose(
+            proj.ell.weights, proj.restrict_sum(ell.weights)
+        )
+
+    def test_sparsified_projection_drops_to_minus_one(self):
+        # 2x2 coarse square with heavy diagonal (5, 4) and light
+        # off-diagonal (1, 1): top-1 keeps each endpoint's best edge, so
+        # the off-diagonal candidates rank second on BOTH sides and drop.
+        ell = BipartiteGraph.from_edges(
+            4, 4,
+            np.array([0, 1, 2, 3]),
+            np.array([0, 2, 2, 1]),
+            np.array([5.0, 1.0, 4.0, 1.0]),
+        )
+        map_a = CoarseningMap(4, 2, np.array([0, 0, 1, 1]))
+        map_b = CoarseningMap(4, 2, np.array([0, 0, 1, 1]))
+        proj = project_ell(ell, map_a, map_b, max_degree=1)
+        dropped = proj.edge_map < 0
+        assert dropped.sum() == 2
+        assert (proj.prolong(np.ones(proj.ell.n_edges))[dropped] == 0).all()
+        # restrict ignores dropped fine edges entirely
+        np.testing.assert_allclose(
+            proj.restrict_sum(np.ones(4)), proj.multiplicities()
+        )
+
+
+class TestProjectSquares:
+    def test_projected_squares_shrink_and_stay_valid(self):
+        inst = powerlaw_alignment_instance(n=120, expected_degree=6, seed=5)
+        p = inst.problem
+        ca = coarsen_graph(p.a_graph)
+        cb = coarsen_graph(p.b_graph)
+        proj = project_ell(p.ell, ca.cmap, cb.cmap)
+        s = project_squares(p.squares, proj)
+        m = proj.ell.n_edges
+        assert s.shape == (m, m)
+        assert s.nnz <= p.squares.nnz
+        assert s.nnz > 0
+        rows = s.row_of_nonzero()
+        assert (rows != s.indices).all()  # no diagonal
+        # structural symmetry survives the (symmetric) projection
+        fwd = set(zip(rows.tolist(), s.indices.tolist()))
+        assert all((j, i) in fwd for i, j in fwd)
+
+
+class TestMultilevelConfig:
+    def test_defaults_valid(self):
+        cfg = MultilevelConfig()
+        assert cfg.n_levels == 2
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_levels": 0},
+        {"coarsest_method": "simplex"},
+        {"coarsest_matcher": "nope"},
+        {"refine_matcher": "nope"},
+        {"min_shrink": 0.0},
+        {"prior_scale": -1.0},
+        {"refine_iters": -1},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MultilevelConfig(**kwargs)
+
+    def test_round_trip(self):
+        cfg = MultilevelConfig(n_levels=3, refine_iters=5, seed=11)
+        assert MultilevelConfig.from_dict(cfg.to_dict()) == cfg
+
+
+class TestVCycle:
+    def test_returns_valid_result(self, medium_instance):
+        res = multilevel_align(
+            medium_instance.problem,
+            MultilevelConfig(coarsest_iters=20, refine_iters=2),
+        )
+        assert res.method.startswith("multilevel[")
+        assert res.objective > 0
+        assert res.params["levels"] >= 1
+        mate = res.matching.mate_a
+        matched = mate >= 0
+        assert len(np.unique(mate[matched])) == matched.sum()
+
+    def test_single_level_degenerates_to_flat(self, small_instance):
+        from repro.core import BPConfig, belief_propagation_align
+
+        cfg = MultilevelConfig(
+            n_levels=1, coarsest_iters=15, coarsest_matcher="approx"
+        )
+        res = multilevel_align(small_instance.problem, cfg)
+        flat = belief_propagation_align(
+            small_instance.problem,
+            BPConfig(n_iter=15, gamma=cfg.gamma, matcher="approx"),
+        )
+        assert res.objective == pytest.approx(flat.objective)
+
+    def test_klau_coarsest(self, small_instance):
+        res = multilevel_align(
+            small_instance.problem,
+            MultilevelConfig(
+                coarsest_method="klau", coarsest_iters=10, refine_iters=1
+            ),
+        )
+        assert res.objective > 0
+
+    def test_emits_level_events_and_metrics(self, medium_instance):
+        from repro.observe import MemorySink, get_bus
+
+        bus = get_bus()
+        sink = bus.add_sink(MemorySink())
+        try:
+            multilevel_align(
+                medium_instance.problem,
+                MultilevelConfig(coarsest_iters=10, refine_iters=1),
+            )
+            levels = [e for e in sink.events if e.type == "multilevel_level"]
+            assert {e.fields["action"] for e in levels} >= {
+                "coarsen", "solve", "refine",
+            }
+            snap = bus.metrics.snapshot()
+            names = {row["metric"] for row in snap}
+            assert "repro_multilevel_vcycles_total" in names
+            assert "repro_multilevel_levels" in names
+        finally:
+            bus.remove_sink(sink)
+
+
+class TestVCycleProperty:
+    """The pipeline's reason to exist: quality held, cycles halved."""
+
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_vcycle_matches_flat_quality_at_half_cycles(self, seed):
+        from repro import SimulatedRuntime, xeon_e7_8870
+        from repro.core import BPConfig, belief_propagation_align
+        from repro.machine.trace import AlgorithmTracer
+
+        inst = powerlaw_alignment_instance(
+            n=800, expected_degree=8, p_perturb=0.01, seed=seed
+        )
+        p = inst.problem
+        _ = p.squares
+
+        flat_tr = AlgorithmTracer()
+        flat = belief_propagation_align(
+            p, BPConfig(n_iter=40, matcher="approx"), flat_tr
+        )
+        ml_tr = AlgorithmTracer()
+        ml = multilevel_align(
+            p,
+            MultilevelConfig(
+                n_levels=2, coarsest_iters=15, refine_iters=4,
+                coarsest_matcher="approx", refine_matcher="approx",
+            ),
+            ml_tr,
+        )
+
+        assert ml.objective >= flat.objective
+
+        rt = SimulatedRuntime(xeon_e7_8870(), 1, "bound", "compact")
+        flat_cycles = sum(
+            rt.iteration_timing(it).total for it in flat_tr.iterations
+        )
+        ml_cycles = sum(
+            rt.iteration_timing(it).total for it in ml_tr.iterations
+        )
+        assert ml_cycles <= 0.5 * flat_cycles

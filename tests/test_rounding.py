@@ -41,13 +41,13 @@ class TestRoundHeuristic:
     def test_returns_parts(self, small_instance):
         p = small_instance.problem
         g_vec = p.weights.copy()
-        obj, wp, op, matching = round_heuristic(p, g_vec, "exact")
+        obj, wp, op, matching = round_heuristic(p, g_vec, matcher="exact")
         assert np.isclose(obj, p.alpha * wp + p.beta * op)
 
     def test_matcher_by_name_or_callable(self, small_instance):
         p = small_instance.problem
-        by_name = round_heuristic(p, p.weights, "exact")
-        by_callable = round_heuristic(p, p.weights, make_matcher("exact"))
+        by_name = round_heuristic(p, p.weights, matcher="exact")
+        by_callable = round_heuristic(p, p.weights, matcher=make_matcher("exact"))
         assert np.isclose(by_name[0], by_callable[0])
 
     def test_tracker_keeps_best(self, small_instance):
@@ -58,7 +58,7 @@ class TestRoundHeuristic:
         for i in range(5):
             g_vec = p.weights + rng.normal(0, 0.3, p.n_edges_l)
             obj, *_ = round_heuristic(
-                p, g_vec, "exact", tracker, source=f"g{i}", iteration=i
+                p, g_vec, matcher="exact", tracker=tracker, source=f"g{i}", iteration=i
             )
             objs.append(obj)
         assert np.isclose(tracker.best_objective, max(objs))
@@ -68,7 +68,7 @@ class TestRoundHeuristic:
         p = small_instance.problem
         tracker = BestTracker()
         g_vec = p.weights.copy()
-        round_heuristic(p, g_vec, "exact", tracker)
+        round_heuristic(p, g_vec, matcher="exact", tracker=tracker)
         g_vec[:] = -1
         assert np.all(tracker.best_vector >= 0)
 
@@ -79,9 +79,9 @@ class TestRoundHeuristic:
         workspace = RoundingWorkspace.for_problem(p)
         for i in range(4):
             g_vec = p.weights + rng.normal(0, 0.4, p.n_edges_l)
-            plain = round_heuristic(p, g_vec, "exact")
+            plain = round_heuristic(p, g_vec, matcher="exact")
             reused = round_heuristic(
-                p, g_vec, "exact", workspace=workspace
+                p, g_vec, matcher="exact", workspace=workspace
             )
             assert plain[:3] == reused[:3]  # bit-exact, not approx
             assert np.array_equal(plain[3].mate_a, reused[3].mate_a)
@@ -92,7 +92,41 @@ class TestRoundHeuristic:
             x=np.zeros(p.n_edges_l + 1), spmv_out=np.zeros(p.n_edges_l)
         )
         with pytest.raises(DimensionError):
-            round_heuristic(p, p.weights, "exact", workspace=bad)
+            round_heuristic(p, p.weights, matcher="exact", workspace=bad)
+
+    def test_positional_kind_string_deprecated(self, small_instance):
+        """Legacy positional matcher strings still work but warn."""
+        p = small_instance.problem
+        with pytest.warns(DeprecationWarning, match="positional"):
+            legacy = round_heuristic(p, p.weights, "exact")
+        modern = round_heuristic(p, p.weights, matcher="exact")
+        assert legacy[:3] == modern[:3]
+
+    def test_positional_callable_no_warning(self, small_instance):
+        """Only *kind strings* passed positionally are deprecated."""
+        import warnings
+
+        p = small_instance.problem
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            round_heuristic(p, p.weights, make_matcher("exact"))
+
+    def test_positional_tracker_still_accepted(self, small_instance):
+        p = small_instance.problem
+        tracker = BestTracker()
+        with pytest.warns(DeprecationWarning):
+            round_heuristic(p, p.weights, "exact", tracker)
+        assert tracker.best_vector is not None
+
+    def test_matcher_required(self, small_instance):
+        p = small_instance.problem
+        with pytest.raises(ConfigurationError, match="matcher"):
+            round_heuristic(p, p.weights)
+
+    def test_matcher_double_spec_rejected(self, small_instance):
+        p = small_instance.problem
+        with pytest.raises(TypeError):
+            round_heuristic(p, p.weights, "exact", matcher="exact")
 
     def test_tracker_offer_ordering(self):
         tracker = BestTracker()
