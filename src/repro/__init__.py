@@ -51,11 +51,15 @@ from repro import observe
 from repro.graph import Graph
 from repro.machine import SimulatedRuntime, xeon_e7_8870
 from repro.matching import (
+    KERNEL_KINDS,
+    MATCHING_BACKENDS,
     MatchingResult,
+    auction_matching,
     greedy_matching,
     locally_dominant_matching,
     locally_dominant_matching_vectorized,
     max_weight_matching,
+    suitor_matching,
 )
 from repro.multilevel import (
     CoarseningMap,
@@ -83,8 +87,10 @@ __all__ = [
     "CoarseningMap",
     "Graph",
     "IsoRankConfig",
+    "KERNEL_KINDS",
     "KlauConfig",
     "MATCHER_KINDS",
+    "MATCHING_BACKENDS",
     "MatchingResult",
     "MultilevelConfig",
     "NetworkAlignmentProblem",
@@ -93,6 +99,7 @@ __all__ = [
     "SolverSpec",
     "__version__",
     "align",
+    "auction_matching",
     "available_methods",
     "belief_propagation_align",
     "bio_instance",
@@ -119,5 +126,6 @@ __all__ = [
     "register_solver",
     "round_heuristic",
     "solve_many",
+    "suitor_matching",
     "xeon_e7_8870",
 ]

@@ -50,12 +50,21 @@ class ParallelConfig(ConfigBase):
         ``multiprocessing`` start method for the process backend.
         ``"fork"`` (default on Linux) inherits the parent's read-only
         state cheaply; ``"spawn"`` is the portable escape hatch.
+    matching_backend:
+        Matching-kernel backend for the approximate matcher kinds
+        (:data:`repro.matching.MATCHING_BACKENDS`): ``"numpy"`` for the
+        round-synchronous segmented kernels, ``"python"`` for the
+        interpreted reference, ``None`` (default) for each kind's
+        historical implementation.  Orthogonal to ``backend`` — it
+        selects *how each rounding call computes*, not *where* calls
+        run — and applies on the serial backend too.
     """
 
     backend: str = "serial"
     n_workers: int = 0
     chunk: int = 1
     start_method: str = "fork"
+    matching_backend: str | None = None
     #: Accepted on every public config (common surface, round-tripped by
     #: ``to_dict``/``from_dict``); backend scheduling is deterministic
     #: per the bit-identical contract and does not consume it.
@@ -75,6 +84,16 @@ class ParallelConfig(ConfigBase):
             raise ConfigurationError(
                 f"unknown start_method {self.start_method!r}"
             )
+        if self.matching_backend is not None:
+            # Imported here: repro.matching pulls numpy-heavy modules the
+            # config layer otherwise doesn't need.
+            from repro.matching.backends import MATCHING_BACKENDS
+
+            if self.matching_backend not in MATCHING_BACKENDS:
+                raise ConfigurationError(
+                    f"unknown matching_backend {self.matching_backend!r}; "
+                    f"expected one of {MATCHING_BACKENDS}"
+                )
 
     def resolve_workers(self) -> int:
         """The actual worker count (resolves the ``0`` = per-CPU default)."""

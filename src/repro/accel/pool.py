@@ -106,15 +106,25 @@ def parallel_map(
 _WORKER: dict[str, Any] = {}
 
 
-def _init_rounding_worker(handle: tuple, matcher_kind: str) -> None:
-    """Process-pool initializer: attach shared memory, build the kit."""
+def _init_rounding_worker(
+    handle: tuple, matcher_kind: str, matching_backend: str | None = None
+) -> None:
+    """Process-pool initializer: attach shared memory, build the kit.
+
+    The kit includes the worker's group plan when a kernel matcher is
+    selected (``RoundingWorkspace.for_problem`` runs its ``prepare``
+    hook), so per-task work is pure matching.
+    """
     _silence_worker_bus()
     shared = SharedProblem.attach(handle)
     problem = shared.to_problem()
+    matcher = make_matcher(matcher_kind, backend=matching_backend)
     _WORKER["shared"] = shared
     _WORKER["problem"] = problem
-    _WORKER["matcher"] = make_matcher(matcher_kind)
-    _WORKER["workspace"] = RoundingWorkspace.for_problem(problem)
+    _WORKER["matcher"] = matcher
+    _WORKER["workspace"] = RoundingWorkspace.for_problem(
+        problem, matcher=matcher
+    )
 
 
 def _round_with(
@@ -177,6 +187,10 @@ class RoundingPool:
                 "distributed across process workers; use backend="
                 "'serial' or a stateless matcher"
             )
+        if config.matching_backend is not None:
+            # Fail fast in the parent: a kind without kernels would
+            # otherwise surface as an opaque worker-initializer death.
+            make_matcher(matcher_kind, backend=config.matching_backend)
         self.config = config
         self.matcher_kind = matcher_kind
         self.n_workers = config.resolve_workers()
@@ -192,7 +206,11 @@ class RoundingPool:
             self._pool = ctx.Pool(
                 self.n_workers,
                 initializer=_init_rounding_worker,
-                initargs=(self._shared.handle, matcher_kind),
+                initargs=(
+                    self._shared.handle,
+                    matcher_kind,
+                    config.matching_backend,
+                ),
             )
         elif config.backend == "threaded":
             self._executor = ThreadPoolExecutor(max_workers=self.n_workers)
@@ -203,16 +221,23 @@ class RoundingPool:
             ).set(self.n_workers)
 
     # ------------------------------------------------------------------
+    def _make_kit(self) -> tuple:
+        """Build one (matcher, workspace) kit honoring ``matching_backend``."""
+        matcher = make_matcher(
+            self.matcher_kind, backend=self.config.matching_backend
+        )
+        return (
+            matcher,
+            RoundingWorkspace.for_problem(self._problem, matcher=matcher),
+        )
+
     def _thread_task(
         self, g: np.ndarray
     ) -> tuple[float, float, float, MatchingResult, float]:
         t0 = time.perf_counter()
         kit = getattr(self._tls, "kit", None)
         if kit is None:
-            kit = (
-                make_matcher(self.matcher_kind),
-                RoundingWorkspace.for_problem(self._problem),
-            )
+            kit = self._make_kit()
             self._tls.kit = kit
         obj, wp, op, matching = _round_with(
             self._problem, kit[0], kit[1], g
@@ -238,10 +263,7 @@ class RoundingPool:
             raw = list(self._executor.map(self._thread_task, vectors))
         else:
             if self._serial_kit is None:
-                self._serial_kit = (
-                    make_matcher(self.matcher_kind),
-                    RoundingWorkspace.for_problem(self._problem),
-                )
+                self._serial_kit = self._make_kit()
             raw = []
             for g in vectors:
                 t1 = time.perf_counter()

@@ -221,17 +221,25 @@ def _cmd_solve(args: argparse.Namespace) -> None:
     )
     spec = get_solver(args.method)
     parallel = None
-    if args.backend != "serial":
+    if args.backend != "serial" or args.matching_backend is not None:
         if spec.supports_parallel:
             from repro.accel import ParallelConfig
 
             parallel = ParallelConfig(
-                backend=args.backend, n_workers=args.jobs
+                backend=args.backend,
+                n_workers=args.jobs,
+                matching_backend=args.matching_backend,
             )
-        else:
+        elif args.backend != "serial":
             print(
                 f"note: --backend applies to methods with batched "
                 f"rounding; {args.method} runs serially", file=sys.stderr,
+            )
+        else:
+            print(
+                f"note: --matching-backend applies to methods that take "
+                f"a ParallelConfig; {args.method} ignores it",
+                file=sys.stderr,
             )
     res = align(
         problem, args.method, _solve_config(args), parallel=parallel
@@ -426,6 +434,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=0, metavar="N",
         help="worker count for --backend threaded/process "
              "(0 = one per CPU)",
+    )
+    p.add_argument(
+        "--matching-backend", choices=["python", "numpy"], default=None,
+        dest="matching_backend",
+        help="matching-kernel backend for the approximate matchers "
+             "(approx/suitor/greedy/auction): numpy = round-synchronous "
+             "segmented kernels, python = interpreted reference; "
+             "default keeps each matcher's historical implementation",
     )
     p.add_argument("--alpha", type=float, default=1.0)
     p.add_argument("--beta", type=float, default=2.0)

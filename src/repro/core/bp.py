@@ -113,18 +113,22 @@ def belief_propagation_align(
     """
     config = config or BPConfig()
     bus = get_bus()
+    matching_backend = None if parallel is None else parallel.matching_backend
     with bus.trace(
         "bp.align", matcher=config.matcher, n_iter=config.n_iter,
         batch=config.batch, damping=config.damping,
         backend="serial" if parallel is None else parallel.backend,
+        matching_backend=matching_backend,
     ):
         if parallel is not None and parallel.backend != "serial":
             from repro.accel.pool import RoundingPool
 
             with RoundingPool(problem, config.matcher, parallel) as pool:
                 return _bp_run(problem, config, tracer, bus, pool,
-                               init_messages)
-        return _bp_run(problem, config, tracer, bus, None, init_messages)
+                               init_messages,
+                               matching_backend=matching_backend)
+        return _bp_run(problem, config, tracer, bus, None, init_messages,
+                       matching_backend=matching_backend)
 
 
 def _bp_run(
@@ -134,9 +138,11 @@ def _bp_run(
     bus,
     pool: "RoundingPool | None" = None,
     init_messages: tuple[np.ndarray, np.ndarray] | None = None,
+    *,
+    matching_backend: str | None = None,
 ) -> AlignmentResult:
     """The BP iteration body (Listing 2)."""
-    matcher: Matcher = make_matcher(config.matcher)
+    matcher: Matcher = make_matcher(config.matcher, backend=matching_backend)
     ell = problem.ell
     s_mat = problem.squares
     perm = problem.squares_transpose_perm
@@ -173,7 +179,9 @@ def _bp_run(
 
     tracker = BestTracker()
     history: list[IterationRecord] = []
-    workspace = RoundingWorkspace.for_problem(problem)
+    # Passing the matcher lets kernel matchers build their group plan
+    # here, outside the iteration loop.
+    workspace = RoundingWorkspace.for_problem(problem, matcher=matcher)
     flush_every = max(1, config.batch // 2)
     pending: list[tuple[int, np.ndarray, np.ndarray]] = []
 

@@ -1,0 +1,171 @@
+"""The matcher-backend registry: named kernel implementations per kind.
+
+A *matching backend* is a named implementation strategy for one
+approximate-matcher kind — ``"python"`` (the interpreted
+round-synchronous reference) or ``"numpy"`` (the segmented kernels of
+:mod:`repro.matching.kernels`).  The registry makes the choice explicit
+and auditable: benchmarks select backends by name, tests iterate over
+:func:`available_matching_backends` to assert cross-backend equality,
+and an unknown (kind, backend) pair raises
+:class:`~repro.errors.ConfigurationError` instead of silently falling
+back — a silently substituted backend would misreport every benchmark
+built on top of it.
+
+:class:`KernelMatcher` is the callable the solver layer consumes: it has
+the matcher protocol (``matcher(graph, weights) -> MatchingResult``, a
+``.kind`` attribute), plus ``.backend`` and an optional ``.prepare()``
+hook that eagerly builds the graph's group plan outside any timed or
+per-iteration region.  Every call emits the standard ``matching`` event
+(with a ``backend`` field) and the ``repro_matching_backend_*`` metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.matching.instrument import emit_matching
+from repro.matching.kernels import KERNEL_KINDS, get_plan, run_kernel
+from repro.matching.result import MatchingResult
+from repro.observe import get_bus
+from repro.sparse.bipartite import BipartiteGraph
+
+__all__ = [
+    "MATCHING_BACKENDS",
+    "MatchingBackend",
+    "KernelMatcher",
+    "register_matching_backend",
+    "get_matching_backend",
+    "available_matching_backends",
+]
+
+#: Registered backend names, in reference-first order.
+MATCHING_BACKENDS = ("python", "numpy")
+
+#: Event/metric label per kernel kind (the ``-rounds`` suffix marks the
+#: round-synchronous formulation, distinguishing it from the sequential
+#: reference matchers' labels).
+_ALGORITHM_LABEL = {
+    "approx": "locally-dominant-rounds",
+    "suitor": "suitor-rounds",
+    "greedy": "greedy-rounds",
+    "auction": "auction-rounds",
+}
+
+
+@dataclass(frozen=True)
+class MatchingBackend:
+    """One registered (kind, backend) implementation.
+
+    ``impl`` has the :func:`repro.matching.kernels.run_kernel` contract:
+    ``impl(kind, backend, graph, weights, collect_rounds=..., ...)``
+    returning ``(mate_a, rounds, w_vec)``.
+    """
+
+    kind: str
+    backend: str
+    impl: Callable
+
+    def key(self) -> tuple[str, str]:
+        return (self.kind, self.backend)
+
+
+_REGISTRY: dict[tuple[str, str], MatchingBackend] = {}
+
+
+def register_matching_backend(spec: MatchingBackend) -> None:
+    """Register (or replace) a backend implementation for a kind."""
+    _REGISTRY[spec.key()] = spec
+
+
+def get_matching_backend(kind: str, backend: str) -> MatchingBackend:
+    """Look up a registered backend; unknown pairs are configuration errors."""
+    spec = _REGISTRY.get((kind, backend))
+    if spec is None:
+        kinds = sorted({k for k, _ in _REGISTRY})
+        backends = sorted({b for _, b in _REGISTRY})
+        raise ConfigurationError(
+            f"no matching backend {backend!r} for matcher kind {kind!r} "
+            f"(kinds with kernels: {kinds}; backends: {backends})"
+        )
+    return spec
+
+
+def available_matching_backends(kind: str | None = None) -> tuple[tuple[str, str], ...]:
+    """Registered (kind, backend) pairs, optionally filtered by kind."""
+    keys = sorted(_REGISTRY)
+    if kind is not None:
+        keys = [k for k in keys if k[0] == kind]
+    return tuple(keys)
+
+
+for _kind in KERNEL_KINDS:
+    for _backend in MATCHING_BACKENDS:
+        register_matching_backend(
+            MatchingBackend(kind=_kind, backend=_backend, impl=run_kernel)
+        )
+
+
+class KernelMatcher:
+    """A matcher callable bound to one (kind, backend) kernel pair.
+
+    Satisfies the solver layer's matcher protocol — callable with
+    ``(graph, weights=None)`` returning a
+    :class:`~repro.matching.result.MatchingResult`, carrying a ``.kind``
+    attribute — and adds:
+
+    ``backend``
+        The registry name this matcher resolves to.
+    ``prepare(graph)``
+        Eagerly build (and cache) the graph's group plan, so the first
+        rounding call inside a timed loop doesn't pay the one-off
+        ``as_general_graph()`` conversion.
+
+    Extra keyword arguments (e.g. ``epsilon`` for the auction kind,
+    ``collect_rounds``) are forwarded to the kernel per call.
+    """
+
+    def __init__(self, kind: str, backend: str, **kernel_kwargs):
+        spec = get_matching_backend(kind, backend)
+        self.kind = kind
+        self.backend = backend
+        self._impl = spec.impl
+        self._kernel_kwargs = kernel_kwargs
+
+    def prepare(self, graph: BipartiteGraph) -> None:
+        """Build the group plan for ``graph`` ahead of the first call."""
+        if self.kind in ("approx", "suitor"):
+            get_plan(graph)
+
+    def __call__(
+        self,
+        graph: BipartiteGraph,
+        weights: np.ndarray | None = None,
+        **overrides,
+    ) -> MatchingResult:
+        kwargs = {**self._kernel_kwargs, **overrides}
+        mate_a, rounds, w_vec = self._impl(
+            self.kind, self.backend, graph, weights, **kwargs
+        )
+        result = MatchingResult.from_mates(
+            graph, mate_a, weights=w_vec, rounds=rounds
+        )
+        algorithm = _ALGORITHM_LABEL[self.kind]
+        emit_matching(algorithm, graph, result, backend=self.backend)
+        bus = get_bus()
+        if bus.active:
+            bus.metrics.counter(
+                "repro_matching_backend_calls_total",
+                backend=self.backend, kind=self.kind,
+            ).inc()
+            bus.metrics.histogram(
+                "repro_matching_backend_rounds",
+                backend=self.backend, kind=self.kind,
+            ).observe(float(len(result.rounds)))
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KernelMatcher(kind={self.kind!r}, backend={self.backend!r})"

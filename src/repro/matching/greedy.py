@@ -36,15 +36,11 @@ def greedy_matching(
     # Sort by weight descending; edge ids are already (a, b)-lexicographic,
     # so a stable sort gives the deterministic tie order for free.
     order = positive[np.argsort(-w_vec[positive], kind="stable")]
-    mate_a = np.full(graph.n_a, -1, dtype=np.int64)
-    b_used = np.zeros(graph.n_b, dtype=bool)
-    edge_a = graph.edge_a.tolist()
-    edge_b = graph.edge_b.tolist()
-    mate = mate_a.tolist()
-    used = b_used.tolist()
-    for e in order.tolist():
-        a = edge_a[e]
-        b = edge_b[e]
+    # Gather both endpoint sequences vectorized, once, instead of
+    # indexing full-graph lists edge by edge inside the scan.
+    mate = [-1] * graph.n_a
+    used = [False] * graph.n_b
+    for a, b in zip(graph.edge_a[order].tolist(), graph.edge_b[order].tolist()):
         if mate[a] < 0 and not used[b]:
             mate[a] = b
             used[b] = True

@@ -27,7 +27,15 @@ def emit_matching(
     result: MatchingResult,
     **extra,
 ) -> None:
-    """Emit one ``matching`` event (and bump matcher counters)."""
+    """Emit one ``matching`` event (and bump matcher counters).
+
+    When the result carries per-round stats, the round work profile is
+    also aggregated into labeled counters — rounds executed, adjacency
+    words scanned, and proposals/queue installs (the ``atomics`` column
+    of :class:`~repro.matching.result.RoundStats`) — labeled by
+    algorithm, so a run's matcher effort is visible without replaying
+    its event stream.
+    """
     bus = get_bus()
     if not bus.active:
         return
@@ -46,6 +54,16 @@ def emit_matching(
     bus.metrics.counter(
         "repro_matched_pairs_total", algorithm=algorithm
     ).inc(result.cardinality)
+    if result.rounds:
+        bus.metrics.counter(
+            "repro_matching_rounds_total", algorithm=algorithm
+        ).inc(len(result.rounds))
+        bus.metrics.counter(
+            "repro_matching_scans_total", algorithm=algorithm
+        ).inc(sum(r.adjacency_scanned for r in result.rounds))
+        bus.metrics.counter(
+            "repro_matching_proposals_total", algorithm=algorithm
+        ).inc(sum(r.atomics for r in result.rounds))
 
 
 def observed_matcher(algorithm: str) -> Callable[[F], F]:

@@ -28,9 +28,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro._util import asarray_f64, asarray_i64
+from repro._util import asarray_f64
 from repro.errors import ConfigurationError, DimensionError
 from repro.matching.instrument import observed_matcher
+from repro.matching.kernels import (
+    GroupPlan,
+    get_plan,
+    locally_dominant_rounds_numpy,
+)
 from repro.matching.result import MatchingResult, RoundStats
 from repro.sparse.bipartite import BipartiteGraph
 
@@ -204,10 +209,18 @@ def locally_dominant_matching_vectorized(
     every mutually-pointing pair at once.  Produces the same matching as
     the queue algorithm (identical tie-breaking); rounds correspond to the
     Phase-2 ``while`` iterations.
+
+    The rounds core is :func:`repro.matching.kernels
+    .locally_dominant_rounds_numpy` running on the graph's cached
+    :class:`~repro.matching.kernels.GroupPlan`, so repeated rounding of
+    the same L structure skips the ``as_general_graph()`` conversion.
     """
-    indptr, neighbors, hw = _general_graph_arrays(graph, weights)
-    mate, rounds = locally_dominant_mates(
-        indptr, neighbors, hw,
+    w_vec = graph.weights if weights is None else asarray_f64(weights)
+    if w_vec.shape != (graph.n_edges,):
+        raise DimensionError("weights has wrong length")
+    plan = get_plan(graph)
+    mate, rounds = locally_dominant_rounds_numpy(
+        plan, w_vec[plan.half_eid],
         collect_rounds=collect_rounds, max_rounds=max_rounds,
     )
     mate_a = np.where(
@@ -236,77 +249,15 @@ def locally_dominant_mates(
     (``-1`` = unmatched) plus per-round stats.  Tie-breaking is the
     paper's: heavier edge wins, equal weights prefer the smaller
     neighbor id.
+
+    The implementation is :func:`repro.matching.kernels
+    .locally_dominant_rounds_numpy` on an uncached one-shot plan;
+    callers that repeatedly match the same structure should build a
+    :class:`~repro.matching.kernels.GroupPlan` once (or go through the
+    bipartite entry points, which cache plans per L structure).
     """
-    indptr = asarray_i64(indptr)
-    neighbors = asarray_i64(neighbors)
-    n = len(indptr) - 1
-    n_half = len(neighbors)
-    mate = np.full(n, -1, dtype=np.int64)
-    rounds: list[RoundStats] = []
-    if n_half == 0:
-        return mate, rounds
-
-    hw = asarray_f64(half_weights)
-    if hw.shape != (n_half,):
-        raise DimensionError("half_weights has wrong length")
-    degrees = np.diff(indptr)
-    src = np.repeat(np.arange(n, dtype=np.int64), degrees)
-    nonempty = degrees > 0
-    seg_starts = indptr[:-1][nonempty]
-    seg_rows = np.arange(n)[nonempty]
-    neg_inf = -np.inf
-    positive = hw > 0.0
-
-    candidate_stale = np.ones(n, dtype=bool)  # vertices needing FindMate
-    round_index = 0
-    limit = max_rounds if max_rounds is not None else n + 1
-    queue_size = int(n)  # phase-1 "queue" is every vertex
-    while round_index <= limit:
-        free = mate < 0
-        usable = positive & free[src] & free[neighbors]
-        masked = np.where(usable, hw, neg_inf)
-        seg_max = np.full(n, neg_inf)
-        seg_max[seg_rows] = np.maximum.reduceat(masked, seg_starts)
-        # Tie-break: among half-edges achieving the segment max, take the
-        # smallest neighbor id.
-        at_max = usable & (masked == seg_max[src])
-        nbr_or_inf = np.where(at_max, neighbors, n)
-        best_nbr = np.full(n, n, dtype=np.int64)
-        best_nbr[seg_rows] = np.minimum.reduceat(nbr_or_inf, seg_starts)
-        candidate = np.where(seg_max > neg_inf, best_nbr, -1)
-
-        has_candidate = candidate >= 0
-        mutual = np.zeros(n, dtype=bool)
-        idx = np.flatnonzero(has_candidate)
-        mutual[idx] = candidate[candidate[idx]] == idx
-        new_lo = np.flatnonzero(mutual & (np.arange(n) < candidate))
-        if len(new_lo) == 0:
-            break
-        new_hi = candidate[new_lo]
-        mate[new_lo] = new_hi
-        mate[new_hi] = new_lo
-        if collect_rounds:
-            # Work attribution mirrors the queue algorithm: this round's
-            # FindMate scans are the adjacency of vertices whose candidate
-            # was invalidated (here: all still-free vertices re-scan).
-            rescans = int(degrees[candidate_stale & free].sum())
-            rounds.append(
-                RoundStats(
-                    round_index=round_index,
-                    queue_size=queue_size,
-                    vertices_matched=2 * len(new_lo),
-                    adjacency_scanned=rescans,
-                    atomics=2 * len(new_lo),
-                )
-            )
-        # Vertices adjacent to newly matched ones will need new candidates.
-        candidate_stale[:] = False
-        newly = np.concatenate([new_lo, new_hi])
-        for u in newly:  # O(matched) rounds bookkeeping, small
-            candidate_stale[
-                neighbors[indptr[u] : indptr[u + 1]]
-            ] = True
-        queue_size = len(newly)
-        round_index += 1
-
-    return mate, rounds
+    plan = GroupPlan.from_csr(indptr, neighbors)
+    return locally_dominant_rounds_numpy(
+        plan, half_weights,
+        collect_rounds=collect_rounds, max_rounds=max_rounds,
+    )
