@@ -1,16 +1,17 @@
 #!/usr/bin/env python
 """Benchmark trajectory harness: run the kernel + backend groups
 (``BENCH_2.json``), the flat-vs-multilevel comparison
-(``BENCH_3.json``), and the matching-kernel backend comparison
-(``BENCH_4.json``) at the repo root.
+(``BENCH_3.json``), the matching-kernel backend comparison
+(``BENCH_4.json``), and the resilience/supervision overhead group
+(``BENCH_5.json``) at the repo root.
 
 Usage (from the repo root)::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--out BENCH_2.json]
         [--repeats 5] [--scale 0.01] [--skip-process]
-        [--group all|kernels-backend|multilevel|matching]
+        [--group all|kernels-backend|multilevel|matching|resilience]
         [--out3 BENCH_3.json] [--multilevel-n 50000]
-        [--out4 BENCH_4.json] [--smoke]
+        [--out4 BENCH_4.json] [--out5 BENCH_5.json] [--smoke]
 
 The file captures *this machine's* numbers — machine info (platform,
 CPU count, library versions) rides along so readers can judge whether a
@@ -336,6 +337,118 @@ def matching_benchmarks(
     return rows, instance
 
 
+def resilience_benchmarks(
+    repeats: int, smoke: bool
+) -> tuple[list[dict], dict]:
+    """Supervision overhead and chaos recovery (``BENCH_5.json``).
+
+    The fault-free rows run the same ``solve_many`` batch bare and
+    under a default ``ResilienceConfig`` (serial backend, observe off)
+    — the ratio is the supervision tax, contracted in
+    ``docs/resilience.md`` to stay under 2%.  The chaos row re-runs the
+    supervised batch with a deterministic crash plan and asserts the
+    recovered objectives are bit-identical to the fault-free run.
+    """
+    from repro.accel import ParallelConfig
+    from repro.accel.serve import solve_many
+    from repro.generators import powerlaw_alignment_instance
+    from repro.resilience import (
+        FaultPlan, FaultSpec, ResilienceConfig, fault_plan,
+    )
+
+    n = 300 if smoke else 2_000
+    count = 3 if smoke else 6
+    n_iter = 8 if smoke else 25
+    problems = []
+    for seed in range(count):
+        inst = powerlaw_alignment_instance(
+            n=n, expected_degree=4.0, p_perturb=8.0 / n, seed=seed,
+            name=f"powerlaw-n{n}-s{seed}",
+        )
+        _ = inst.problem.squares  # build S outside every timed region
+        problems.append(inst.problem)
+    cfg = {"n_iter": n_iter, "matcher": "approx", "batch": 4}
+    print(f"  solve_many instance: {count} problems, n={n}, "
+          f"n_iter={n_iter}")
+
+    def run(parallel):
+        return solve_many(problems, "bp", config=cfg, parallel=parallel)
+
+    rows = []
+    reps = max(2, repeats // 2) if smoke else max(3, repeats)
+    results: dict[str, list[float]] = {}
+    medians: dict[str, float] = {}
+    for label, parallel in (
+        ("baseline", ParallelConfig(backend="serial")),
+        ("supervised", ParallelConfig(
+            backend="serial", resilience=ResilienceConfig())),
+    ):
+        out: list = []
+
+        def fn(parallel=parallel, out=out):
+            out.clear()
+            out.extend(run(parallel))
+
+        samples = timeit(fn, reps)
+        results[label] = [r.objective for r in out]
+        medians[label] = summarize(samples)["median_s"]
+        row = {
+            "group": "resilience", "name": f"solve_many_{label}",
+            **summarize(samples),
+            "extra": {"n_problems": count, "n": n, "n_iter": n_iter,
+                      "backend": "serial"},
+        }
+        rows.append(row)
+        print(f"  resilience/solve_many_{label}: "
+              f"{row['median_s']:.3f} s")
+    overhead = medians["supervised"] / medians["baseline"] - 1.0
+    rows[-1]["extra"]["overhead_vs_baseline"] = overhead
+    print(f"  supervision overhead: {overhead * 100:+.2f}% "
+          f"(contract: < 2%)")
+    if results["supervised"] != results["baseline"]:
+        raise AssertionError(
+            "supervised serial solve_many changed the objectives: "
+            f"{results['supervised']} vs {results['baseline']}"
+        )
+
+    # ---- chaos recovery: crash task 1's first attempt ----------------
+    plan = FaultPlan(
+        [FaultSpec("crash", site="parallel_map", task_index=1)], seed=5
+    )
+    chaos_objs: list[float] = []
+
+    def chaos_run():
+        plan.reset()
+        with fault_plan(plan):
+            res = run(ParallelConfig(
+                backend="serial", resilience=ResilienceConfig()))
+        chaos_objs[:] = [r.objective for r in res]
+
+    samples = timeit(chaos_run, max(2, reps // 2))
+    fired = len(plan.fired())
+    row = {
+        "group": "resilience", "name": "solve_many_chaos_crash",
+        **summarize(samples),
+        "extra": {"n_problems": count, "faults_fired": fired,
+                  "recovered": chaos_objs == results["baseline"]},
+    }
+    rows.append(row)
+    print(f"  resilience/solve_many_chaos_crash: "
+          f"{row['median_s']:.3f} s ({fired} fault(s) fired)")
+    if not fired:
+        raise AssertionError("chaos plan never fired")
+    if chaos_objs != results["baseline"]:
+        raise AssertionError(
+            "chaos recovery changed the objectives: "
+            f"{chaos_objs} vs {results['baseline']}"
+        )
+    instance = {
+        "family": "powerlaw", "n": n, "count": count, "n_iter": n_iter,
+        "smoke": smoke,
+    }
+    return rows, instance
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--out", default=str(
@@ -348,13 +461,15 @@ def main(argv: list[str] | None = None) -> int:
                     help="skip the process-pool rows (e.g. no /dev/shm)")
     ap.add_argument("--group", default="all",
                     choices=["all", "kernels-backend", "multilevel",
-                             "matching"])
+                             "matching", "resilience"])
     ap.add_argument("--multilevel-n", type=int, default=50_000,
                     help="synthetic size for the multilevel group")
     ap.add_argument("--multilevel-repeats", type=int, default=1,
                     help="repeats for the (long) multilevel runs")
     ap.add_argument("--out4", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_4.json"))
+    ap.add_argument("--out5", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_5.json"))
     ap.add_argument("--smoke", action="store_true",
                     help="shrink the matching group to a CI-size shape "
                          "check (numbers are not performance claims)")
@@ -410,6 +525,20 @@ def main(argv: list[str] | None = None) -> int:
         }
         Path(args.out4).write_text(json.dumps(doc4, indent=2) + "\n")
         print(f"wrote {args.out4} ({len(rows4)} benchmarks)")
+
+    if args.group in ("all", "resilience"):
+        print("running resilience benchmarks "
+              f"(smoke={args.smoke}) ...")
+        rows5, instance5 = resilience_benchmarks(args.repeats, args.smoke)
+        doc5 = {
+            "schema": 1,
+            "generated_by": "benchmarks/run_bench.py --group resilience",
+            "instance": instance5,
+            "machine": machine_info(),
+            "benchmarks": rows5,
+        }
+        Path(args.out5).write_text(json.dumps(doc5, indent=2) + "\n")
+        print(f"wrote {args.out5} ({len(rows5)} benchmarks)")
     return 0
 
 

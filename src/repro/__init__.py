@@ -74,6 +74,16 @@ from repro.registry import (
     get_solver,
     register_solver,
 )
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    MachineFaults,
+    ResilienceConfig,
+    SolverCheckpoint,
+    fault_plan,
+    get_checkpoint_store,
+    supervised_map,
+)
 from repro.sparse import BipartiteGraph, CSRMatrix
 
 __version__ = "1.1.0"
@@ -85,17 +95,22 @@ __all__ = [
     "BipartiteGraph",
     "CSRMatrix",
     "CoarseningMap",
+    "FaultPlan",
+    "FaultSpec",
     "Graph",
     "IsoRankConfig",
     "KERNEL_KINDS",
     "KlauConfig",
     "MATCHER_KINDS",
     "MATCHING_BACKENDS",
+    "MachineFaults",
     "MatchingResult",
     "MultilevelConfig",
     "NetworkAlignmentProblem",
     "ParallelConfig",
+    "ResilienceConfig",
     "SimulatedRuntime",
+    "SolverCheckpoint",
     "SolverSpec",
     "__version__",
     "align",
@@ -105,6 +120,8 @@ __all__ = [
     "bio_instance",
     "coarsen_graph",
     "dmela_scere",
+    "fault_plan",
+    "get_checkpoint_store",
     "get_solver",
     "greedy_matching",
     "homo_musm",
@@ -127,5 +144,6 @@ __all__ = [
     "round_heuristic",
     "solve_many",
     "suitor_matching",
+    "supervised_map",
     "xeon_e7_8870",
 ]

@@ -21,9 +21,11 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 from repro.configtools import ConfigBase
 from repro.errors import ConfigurationError
+from repro.resilience.config import ResilienceConfig
 
 __all__ = ["BACKENDS", "ParallelConfig"]
 
@@ -58,6 +60,12 @@ class ParallelConfig(ConfigBase):
         historical implementation.  Orthogonal to ``backend`` — it
         selects *how each rounding call computes*, not *where* calls
         run — and applies on the serial backend too.
+    resilience:
+        Optional :class:`repro.resilience.ResilienceConfig` putting
+        every fanned-out task under supervision (timeouts, retries with
+        backoff, circuit breaker, degradation ladder).  ``None``
+        (default) keeps the historical unsupervised fast paths with
+        zero added overhead.
     """
 
     backend: str = "serial"
@@ -65,6 +73,7 @@ class ParallelConfig(ConfigBase):
     chunk: int = 1
     start_method: str = "fork"
     matching_backend: str | None = None
+    resilience: ResilienceConfig | None = None
     #: Accepted on every public config (common surface, round-tripped by
     #: ``to_dict``/``from_dict``); backend scheduling is deterministic
     #: per the bit-identical contract and does not consume it.
@@ -94,6 +103,35 @@ class ParallelConfig(ConfigBase):
                     f"unknown matching_backend {self.matching_backend!r}; "
                     f"expected one of {MATCHING_BACKENDS}"
                 )
+        if self.resilience is not None and not isinstance(
+            self.resilience, ResilienceConfig
+        ):
+            raise ConfigurationError(
+                "resilience must be a ResilienceConfig or None "
+                f"(got {type(self.resilience).__name__}); mappings are "
+                "coerced by ParallelConfig.from_dict only"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat field dict, with ``resilience`` nested as its own dict.
+
+        The one exception to the configs-hold-only-scalars rule: the
+        supervision knobs are a config of their own, so they serialize
+        as a nested ``ResilienceConfig.to_dict()`` (or ``None``).
+        """
+        row = super().to_dict()
+        if self.resilience is not None:
+            row["resilience"] = self.resilience.to_dict()
+        return row
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Any]) -> "ParallelConfig":
+        """Inverse of :meth:`to_dict`; coerces a nested resilience dict."""
+        row = dict(mapping)
+        nested = row.get("resilience")
+        if isinstance(nested, Mapping):
+            row["resilience"] = ResilienceConfig.from_dict(nested)
+        return super().from_dict(row)
 
     def resolve_workers(self) -> int:
         """The actual worker count (resolves the ``0`` = per-CPU default)."""

@@ -46,6 +46,9 @@ from repro.core.rounding import RoundingWorkspace, make_matcher
 from repro.errors import ConfigurationError
 from repro.matching.result import MatchingResult
 from repro.observe import get_bus
+from repro.resilience.degrade import emit_degradation
+from repro.resilience.faults import active_fault_plan, maybe_inject
+from repro.resilience.supervise import CircuitBreaker
 
 __all__ = ["RoundingPool", "parallel_map"]
 
@@ -70,9 +73,25 @@ def parallel_map(
 
     ``fn`` must be picklable (module-level) for the process backend.
     Results are returned in input order regardless of completion order.
+
+    When ``config.resilience`` is set (or a chaos
+    :class:`~repro.resilience.FaultPlan` is armed) the batch runs under
+    :func:`repro.resilience.supervised_map` — per-task timeouts, retry
+    with backoff, dead-worker requeue, and the degradation ladder — and
+    the first unrecoverable task error is raised as
+    :class:`~repro.errors.TaskFailedError`.  Otherwise this is the
+    historical zero-overhead fast path.
     """
     config = config or ParallelConfig()
     items = list(items)
+    if (
+        getattr(config, "resilience", None) is not None
+        or active_fault_plan() is not None
+    ):
+        from repro.resilience.supervise import supervised_map
+
+        outcomes = supervised_map(fn, items, config)
+        return [outcome.unwrap() for outcome in outcomes]
     bus = get_bus()
     t0 = time.perf_counter()
     if config.backend == "serial" or len(items) <= 1:
@@ -138,7 +157,15 @@ def _round_with(
     Mirrors :func:`repro.core.rounding.round_heuristic` exactly (same
     matcher call, same indicator gather, same ``objective_parts``
     invocation) so the floats are bit-identical across backends.
+
+    This is the rounding layer's chaos consultation point (site
+    ``"rounding"``): a ``crash`` fault raises here, wherever the task
+    runs, and a ``corrupt`` fault poisons the *returned* objective with
+    NaN — modelling a corrupted result buffer — which the supervised
+    ``round_many`` detects and repairs serially.  The clean inputs are
+    never touched, so the retry is bit-identical.
     """
+    spec = maybe_inject("rounding")
     matching = matcher(problem.ell, np.asarray(g, dtype=np.float64))
     x = workspace.x
     x[:] = 0.0
@@ -146,6 +173,8 @@ def _round_with(
     objective, weight_part, overlap_part = problem.objective_parts(
         x, out=workspace.spmv_out
     )
+    if spec is not None and spec.kind == "corrupt":
+        return float("nan"), weight_part, overlap_part, matching
     return objective, weight_part, overlap_part, matching
 
 
@@ -200,6 +229,7 @@ class RoundingPool:
         self._executor: ThreadPoolExecutor | None = None
         self._tls = threading.local()
         self._serial_kit = None
+        self._breaker: CircuitBreaker | None = None
         if config.backend == "process":
             self._shared = SharedProblem.create(problem)
             ctx = multiprocessing.get_context(config.start_method)
@@ -253,13 +283,72 @@ class RoundingPool:
         tracker offers and ``rounding`` events (see
         :func:`repro.core.rounding.emit_rounding`) so the observable
         stream is identical to the serial path.
+
+        With a :class:`~repro.resilience.ResilienceConfig` on the pool's
+        config (or a chaos plan armed), a batch whose pooled dispatch
+        fails — a worker crash, or a corrupted (non-finite) objective —
+        is recomputed on the in-process serial kit, which is the
+        bit-identical reference, after emitting ``backend_degraded``.
+        A per-pool circuit breaker stops offering work to a backend
+        that keeps failing.
         """
+        if (
+            self.config.resilience is not None
+            or active_fault_plan() is not None
+        ):
+            return self._round_many_supervised(vectors)
+        return self._dispatch(vectors)
+
+    def _round_many_supervised(
+        self, vectors: Sequence[np.ndarray]
+    ) -> list[tuple[float, float, float, MatchingResult]]:
+        """The degradation wrapper around :meth:`_dispatch`."""
+        res = self.config.resilience
+        retries = res.max_retries if res is not None else 2
+        threshold = res.breaker_threshold if res is not None else 3
+        if self._breaker is None:
+            self._breaker = CircuitBreaker(threshold)
+        if not self._breaker.open:
+            try:
+                raw = self._dispatch(vectors)
+                if all(np.isfinite(r[0]) for r in raw):
+                    self._breaker.record_success()
+                    return raw
+                reason = "non-finite rounding objective (corrupt result)"
+            except Exception as exc:  # noqa: BLE001 - any worker death
+                reason = repr(exc)
+            self._breaker.record_failure()
+        else:
+            reason = "rounding circuit breaker open"
+        if self.config.backend != "serial":
+            emit_degradation("rounding", self.config.backend, "serial",
+                             reason)
+        # The serial kit is the reference path; injected faults may
+        # still fire here (shared budget), so give it the retry budget.
+        last_error: Exception | None = None
+        for attempt in range(retries + 1):
+            try:
+                raw = self._dispatch(vectors, force_serial=True)
+            except Exception as exc:  # noqa: BLE001 - injected crash
+                last_error = exc
+                continue
+            if all(np.isfinite(r[0]) for r in raw):
+                return raw
+        if last_error is not None:
+            raise last_error
+        return raw
+
+    def _dispatch(
+        self, vectors: Sequence[np.ndarray], force_serial: bool = False
+    ) -> list[tuple[float, float, float, MatchingResult]]:
+        """The raw backend dispatch (the historical ``round_many`` body)."""
         t0 = time.perf_counter()
-        if self._pool is not None:
+        backend = "serial" if force_serial else self.config.backend
+        if self._pool is not None and not force_serial:
             raw = self._pool.map(
                 _rounding_task, list(vectors), chunksize=self.config.chunk
             )
-        elif self._executor is not None:
+        elif self._executor is not None and not force_serial:
             raw = list(self._executor.map(self._thread_task, vectors))
         else:
             if self._serial_kit is None:
@@ -278,7 +367,7 @@ class RoundingPool:
         if bus.active and raw:
             busy = sum(r[4] for r in raw)
             bus.metrics.counter(
-                "repro_backend_tasks_total", backend=self.config.backend
+                "repro_backend_tasks_total", backend=backend
             ).inc(len(raw))
             bus.metrics.histogram(
                 "repro_backend_dispatch_seconds"
@@ -286,7 +375,7 @@ class RoundingPool:
             if elapsed > 0:
                 bus.metrics.gauge(
                     "repro_backend_worker_utilization",
-                    backend=self.config.backend,
+                    backend=backend,
                 ).set(min(1.0, busy / (elapsed * self.n_workers)))
         return [r[:4] for r in raw]
 

@@ -212,7 +212,29 @@ def _solve_config(args: argparse.Namespace) -> dict:
     return cfg
 
 
+def _resilience_config(args: argparse.Namespace):
+    """Build a ResilienceConfig from the supervision flags (or None)."""
+    if (
+        args.timeout is None
+        and args.retries is None
+        and args.fallback is None
+    ):
+        return None
+    from repro.resilience import ResilienceConfig
+
+    kwargs: dict = {}
+    if args.timeout is not None:
+        kwargs["timeout_s"] = args.timeout
+    if args.retries is not None:
+        kwargs["max_retries"] = args.retries
+    if args.fallback is not None:
+        kwargs["fallback"] = args.fallback
+    return ResilienceConfig(**kwargs)
+
+
 def _cmd_solve(args: argparse.Namespace) -> None:
+    import json
+
     from repro.generators.io import load_alignment_problem
     from repro.registry import align, get_solver
 
@@ -220,8 +242,13 @@ def _cmd_solve(args: argparse.Namespace) -> None:
         args.directory, alpha=args.alpha, beta=args.beta
     )
     spec = get_solver(args.method)
+    resilience = _resilience_config(args)
     parallel = None
-    if args.backend != "serial" or args.matching_backend is not None:
+    if (
+        args.backend != "serial"
+        or args.matching_backend is not None
+        or resilience is not None
+    ):
         if spec.supports_parallel:
             from repro.accel import ParallelConfig
 
@@ -229,11 +256,18 @@ def _cmd_solve(args: argparse.Namespace) -> None:
                 backend=args.backend,
                 n_workers=args.jobs,
                 matching_backend=args.matching_backend,
+                resilience=resilience,
             )
         elif args.backend != "serial":
             print(
                 f"note: --backend applies to methods with batched "
                 f"rounding; {args.method} runs serially", file=sys.stderr,
+            )
+        elif resilience is not None:
+            print(
+                f"note: --timeout/--retries/--fallback supervise methods "
+                f"that take a ParallelConfig; {args.method} ignores them",
+                file=sys.stderr,
             )
         else:
             print(
@@ -241,9 +275,26 @@ def _cmd_solve(args: argparse.Namespace) -> None:
                 f"a ParallelConfig; {args.method} ignores it",
                 file=sys.stderr,
             )
-    res = align(
-        problem, args.method, _solve_config(args), parallel=parallel
-    )
+    plan = None
+    if args.chaos:
+        from repro.resilience import FaultPlan, install_fault_plan
+
+        with open(args.chaos, "r", encoding="utf-8") as fh:
+            plan = FaultPlan.from_dict(json.load(fh))
+        install_fault_plan(plan)
+    try:
+        res = align(
+            problem, args.method, _solve_config(args), parallel=parallel
+        )
+    finally:
+        if plan is not None:
+            from repro.resilience import clear_fault_plan
+
+            clear_fault_plan()
+            print(
+                f"chaos: {len(plan.fired())} fault(s) fired from "
+                f"{args.chaos}", file=sys.stderr,
+            )
     print(res.summary())
     if args.report:
         from repro.analysis import alignment_report
@@ -442,6 +493,30 @@ def build_parser() -> argparse.ArgumentParser:
              "(approx/suitor/greedy/auction): numpy = round-synchronous "
              "segmented kernels, python = interpreted reference; "
              "default keeps each matcher's historical implementation",
+    )
+    res_group = p.add_argument_group(
+        "resilience",
+        "Supervised execution and chaos testing (docs/resilience.md).",
+    )
+    res_group.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task timeout for supervised dispatch; a task that "
+             "exceeds it is treated as a dead worker and requeued",
+    )
+    res_group.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry budget per task under supervision (default 2)",
+    )
+    res_group.add_argument(
+        "--fallback", action=argparse.BooleanOptionalAction, default=None,
+        help="walk the degradation ladder (process -> threaded -> serial) "
+             "when a backend's circuit breaker opens (default on once "
+             "any supervision flag is set)",
+    )
+    res_group.add_argument(
+        "--chaos", default=None, metavar="PLAN.json",
+        help="install a deterministic FaultPlan (JSON, see "
+             "docs/resilience.md) for the duration of the solve",
     )
     p.add_argument("--alpha", type=float, default=1.0)
     p.add_argument("--beta", type=float, default=2.0)

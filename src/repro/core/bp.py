@@ -37,6 +37,7 @@ from repro.core.rounding import (
 )
 from repro.errors import ConfigurationError
 from repro.observe import get_bus
+from repro.resilience.faults import maybe_inject
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ops import row_sums
 
@@ -89,6 +90,10 @@ def belief_propagation_align(
     *,
     parallel: "ParallelConfig | None" = None,
     init_messages: tuple[np.ndarray, np.ndarray] | None = None,
+    checkpoint_every: int = 0,
+    checkpoint_store: Any | None = None,
+    checkpoint_key: str = "bp",
+    resume: bool = False,
 ) -> AlignmentResult:
     """Run the BP message-passing method on ``problem``.
 
@@ -110,10 +115,32 @@ def belief_propagation_align(
     V-cycle (:mod:`repro.multilevel`) uses this to seed each refine pass
     from the expanded coarse solution; default ``None`` keeps the
     all-zeros cold start of Listing 2.
+
+    ``checkpoint_every`` > 0 snapshots the full iterate state (**y**,
+    **z**, **S**:sup:`(k)`, the best tracker, the history) into
+    ``checkpoint_store`` under ``checkpoint_key`` at batch-flush
+    boundaries (so no pending rounding work is lost); ``resume`` picks
+    any such snapshot back up and continues from the iteration after
+    it, bit-identically to the uninterrupted run (damping uses the
+    absolute iteration number).  A found snapshot takes precedence over
+    ``init_messages``.  Stateless matchers only: ``exact-warm`` carries
+    cross-call dual state a snapshot cannot capture.
     """
     config = config or BPConfig()
+    if (checkpoint_every > 0 or resume) and config.matcher == "exact-warm":
+        raise ConfigurationError(
+            "checkpoint/resume requires a stateless matcher; "
+            "'exact-warm' keeps dual potentials between matchings that "
+            "a checkpoint does not capture"
+        )
     bus = get_bus()
     matching_backend = None if parallel is None else parallel.matching_backend
+    checkpointing = {
+        "checkpoint_every": checkpoint_every,
+        "checkpoint_store": checkpoint_store,
+        "checkpoint_key": checkpoint_key,
+        "resume": resume,
+    }
     with bus.trace(
         "bp.align", matcher=config.matcher, n_iter=config.n_iter,
         batch=config.batch, damping=config.damping,
@@ -126,9 +153,10 @@ def belief_propagation_align(
             with RoundingPool(problem, config.matcher, parallel) as pool:
                 return _bp_run(problem, config, tracer, bus, pool,
                                init_messages,
-                               matching_backend=matching_backend)
+                               matching_backend=matching_backend,
+                               **checkpointing)
         return _bp_run(problem, config, tracer, bus, None, init_messages,
-                       matching_backend=matching_backend)
+                       matching_backend=matching_backend, **checkpointing)
 
 
 def _bp_run(
@@ -140,6 +168,10 @@ def _bp_run(
     init_messages: tuple[np.ndarray, np.ndarray] | None = None,
     *,
     matching_backend: str | None = None,
+    checkpoint_every: int = 0,
+    checkpoint_store: Any | None = None,
+    checkpoint_key: str = "bp",
+    resume: bool = False,
 ) -> AlignmentResult:
     """The BP iteration body (Listing 2)."""
     matcher: Matcher = make_matcher(config.matcher, backend=matching_backend)
@@ -184,6 +216,60 @@ def _bp_run(
     workspace = RoundingWorkspace.for_problem(problem, matcher=matcher)
     flush_every = max(1, config.batch // 2)
     pending: list[tuple[int, np.ndarray, np.ndarray]] = []
+
+    start_k = 1
+    if resume and checkpoint_store is not None:
+        ckpt = checkpoint_store.load(checkpoint_key)
+        if ckpt is not None:
+            from repro.resilience.checkpoint import SolverCheckpoint
+
+            if ckpt.method != "bp":
+                raise ConfigurationError(
+                    f"checkpoint {checkpoint_key!r} was written by "
+                    f"method {ckpt.method!r}, not 'bp'; resuming from it "
+                    "would silently restart the solve"
+                )
+
+            state = ckpt.state
+            if state["y"].shape != (m,) or state["sk"].shape != (nnz,):
+                raise ConfigurationError(
+                    f"checkpoint {checkpoint_key!r} does not match this "
+                    "problem's dimensions"
+                )
+            y[:] = state["y"]
+            z[:] = state["z"]
+            sk[:] = state["sk"]
+            SolverCheckpoint.restore_tracker(tracker, state["tracker"])
+            history.extend(state["history"])
+            start_k = ckpt.iteration + 1
+    last_ckpt = start_k - 1
+
+    def maybe_checkpoint(k: int) -> None:
+        """Snapshot at a flush boundary (``pending`` is empty here)."""
+        nonlocal last_ckpt
+        if (
+            checkpoint_store is None
+            or checkpoint_every <= 0
+            or k - last_ckpt < checkpoint_every
+        ):
+            return
+        from repro.resilience.checkpoint import SolverCheckpoint
+
+        checkpoint_store.save(
+            checkpoint_key,
+            SolverCheckpoint(
+                method="bp",
+                iteration=k,
+                state={
+                    "y": y.copy(),
+                    "z": z.copy(),
+                    "sk": sk.copy(),
+                    "tracker": SolverCheckpoint.snapshot_tracker(tracker),
+                    "history": list(history),
+                },
+            ),
+        )
+        last_ckpt = k
 
     def flush_batch() -> None:
         """Round all stored iterates (the paper's batched rounding).
@@ -266,7 +352,11 @@ def _bp_run(
                 ).set(tracker.best_objective)
         pending.clear()
 
-    for k in range(1, config.n_iter + 1):
+    for k in range(start_k, config.n_iter + 1):
+        # Chaos consultation point: lets a FaultPlan crash a solve
+        # mid-iteration so supervised retries exercise warm-resume.
+        maybe_inject("solver.iteration", task_index=k)
+
         # ---- Step 1: compute F = bound_{0,β}[βS + S^(k)ᵀ] ----------
         np.take(sk, perm, out=f_vals)
         f_vals += beta
@@ -328,6 +418,7 @@ def _bp_run(
         pending.append((k, y.copy(), z.copy()))
         if len(pending) >= flush_every or k == config.n_iter:
             flush_batch()
+            maybe_checkpoint(k)
         if tracer is not None:
             tracer.end_iteration()
 

@@ -29,6 +29,7 @@ from repro.core.rounding import Matcher, make_matcher, round_heuristic
 from repro.core.row_match import RowMatcher
 from repro.errors import ConfigurationError
 from repro.observe import get_bus
+from repro.resilience.faults import maybe_inject
 
 __all__ = ["KlauConfig", "klau_align"]
 
@@ -104,6 +105,11 @@ def klau_align(
     problem: NetworkAlignmentProblem,
     config: KlauConfig | None = None,
     tracer: Any | None = None,
+    *,
+    checkpoint_every: int = 0,
+    checkpoint_store: Any | None = None,
+    checkpoint_key: str = "klau",
+    resume: bool = False,
 ) -> AlignmentResult:
     """Run Klau's MR method on ``problem``.
 
@@ -114,14 +120,38 @@ def klau_align(
     sinks attached, the run is wrapped in a ``klau.align`` span and emits
     one ``iteration`` event per iteration, carrying the upper bound and
     the live step size γ.
+
+    ``checkpoint_every`` > 0 snapshots the multiplier vector **U**, the
+    step-control scalars (γ, best upper bound, stall counter), the best
+    tracker and the history into ``checkpoint_store`` under
+    ``checkpoint_key``; ``resume`` picks any such snapshot back up,
+    bit-identically to the uninterrupted run.  Stateless Step-3 oracles
+    only: ``exact-warm``/``warm_start`` carries cross-call dual state a
+    snapshot cannot capture, so checkpointing it raises
+    :class:`~repro.errors.ConfigurationError`.
     """
     config = config or KlauConfig()
+    if (
+        (checkpoint_every > 0 or resume)
+        and config.matcher_kind() == "exact-warm"
+    ):
+        raise ConfigurationError(
+            "checkpoint/resume requires a stateless matcher; "
+            "'exact-warm' keeps dual potentials between matchings that "
+            "a checkpoint does not capture"
+        )
     bus = get_bus()
     with bus.trace(
         "klau.align", matcher=config.matcher, n_iter=config.n_iter,
         step_rule=config.step_rule,
     ):
-        return _klau_run(problem, config, tracer, bus)
+        return _klau_run(
+            problem, config, tracer, bus,
+            checkpoint_every=checkpoint_every,
+            checkpoint_store=checkpoint_store,
+            checkpoint_key=checkpoint_key,
+            resume=resume,
+        )
 
 
 def _klau_run(
@@ -129,6 +159,11 @@ def _klau_run(
     config: KlauConfig,
     tracer: Any | None,
     bus,
+    *,
+    checkpoint_every: int = 0,
+    checkpoint_store: Any | None = None,
+    checkpoint_key: str = "klau",
+    resume: bool = False,
 ) -> AlignmentResult:
     """The MR iteration body (Listing 1)."""
     matcher: Matcher = make_matcher(config.matcher_kind())
@@ -165,7 +200,67 @@ def _klau_run(
     best_upper = np.inf
     stall = 0
 
-    for k in range(1, config.n_iter + 1):
+    start_k = 1
+    if resume and checkpoint_store is not None:
+        ckpt = checkpoint_store.load(checkpoint_key)
+        if ckpt is not None:
+            from repro.resilience.checkpoint import SolverCheckpoint
+
+            if ckpt.method != "klau-mr":
+                raise ConfigurationError(
+                    f"checkpoint {checkpoint_key!r} was written by "
+                    f"method {ckpt.method!r}, not 'klau-mr'; resuming "
+                    "from it would silently restart the solve"
+                )
+
+            state = ckpt.state
+            if state["u_vals"].shape != (nnz,):
+                raise ConfigurationError(
+                    f"checkpoint {checkpoint_key!r} does not match this "
+                    "problem's dimensions"
+                )
+            u_vals[:] = state["u_vals"]
+            gamma = state["gamma"]
+            best_upper = state["best_upper"]
+            stall = state["stall"]
+            SolverCheckpoint.restore_tracker(tracker, state["tracker"])
+            history.extend(state["history"])
+            start_k = ckpt.iteration + 1
+    last_ckpt = start_k - 1
+
+    def maybe_checkpoint(k: int) -> None:
+        nonlocal last_ckpt
+        if (
+            checkpoint_store is None
+            or checkpoint_every <= 0
+            or k - last_ckpt < checkpoint_every
+        ):
+            return
+        from repro.resilience.checkpoint import SolverCheckpoint
+
+        checkpoint_store.save(
+            checkpoint_key,
+            SolverCheckpoint(
+                method="klau-mr",
+                iteration=k,
+                state={
+                    "u_vals": u_vals.copy(),
+                    "gamma": gamma,
+                    "best_upper": best_upper,
+                    "stall": stall,
+                    "tracker": SolverCheckpoint.snapshot_tracker(tracker),
+                    "history": list(history),
+                },
+            ),
+        )
+        last_ckpt = k
+
+    for k in range(start_k, config.n_iter + 1):
+        # Chaos consultation point (see repro.resilience): lets a
+        # FaultPlan crash a solve mid-iteration so supervised retries
+        # exercise warm-resume.
+        maybe_inject("solver.iteration", task_index=k)
+
         # ---- Step 1: row match -------------------------------------
         np.subtract(u_vals, u_vals[perm], out=m_vals)
         m_vals += half_beta
@@ -266,6 +361,7 @@ def _klau_run(
             ).set(best_upper)
         if tracer is not None:
             tracer.end_iteration()
+        maybe_checkpoint(k)
         if best_upper - tracker.best_objective <= config.gap_tolerance:
             break  # provably optimal (§III-A)
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.squares import build_squares
-from repro.errors import ConfigurationError, DimensionError
+from repro.errors import ConfigurationError, DimensionError, ValidationError
 from repro.graph.graph import Graph
 from repro.sparse.bipartite import BipartiteGraph
 from repro.sparse.csr import CSRMatrix
@@ -73,6 +73,17 @@ class NetworkAlignmentProblem:
             raise DimensionError("L does not connect V_A to V_B")
         if self.alpha < 0 or self.beta < 0:
             raise ConfigurationError("alpha and beta must be non-negative")
+        w = self.ell.weights
+        if len(w):
+            if not np.isfinite(w).all():
+                raise ValidationError(
+                    "similarity weights w must be finite (NaN/inf found)"
+                )
+            if w.min() < 0:
+                raise ValidationError(
+                    "similarity weights w must be non-negative; the "
+                    "objective α·wᵀx assumes similarity scores"
+                )
 
     # ------------------------------------------------------------------
     # Derived structures (built lazily, cached)

@@ -22,6 +22,14 @@ Model summary (constants live in :class:`~repro.machine.topology.MachineTopology
   Phase-2 round plus its measured atomic queue updates; batched rounding
   runs tasks with nested parallelism and the paper's nested memory
   penalty.
+* **Faults** (:class:`repro.resilience.MachineFaults`): *failed* threads
+  retire no chunks — static schedules re-deal round-robin over the
+  survivors, dynamic schedules never see them grab work, barriers
+  synchronize only the survivors (who also inherit the dead threads'
+  share of the memory pool); *straggler* threads stay in the team but
+  run at ``1/straggler_factor`` of the normal compute rate and
+  bandwidth.  This replays the paper's strong-scaling study under
+  degraded hardware.
 
 The runtime never looks at problem data — only at traces measured from
 real executions.
@@ -31,8 +39,12 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.resilience.faults import MachineFaults
 
 from repro.errors import ConfigurationError, TraceError
 from repro.machine.affinity import ThreadPlacement, place_threads
@@ -72,6 +84,7 @@ class SimulatedRuntime:
         memory_penalty: float = 1.0,
         l3_share: float = 1.0,
         pool_share: float = 1.0,
+        faults: "MachineFaults | None" = None,
     ) -> None:
         if memory not in MEMORY_POLICIES:
             raise ConfigurationError(
@@ -84,6 +97,16 @@ class SimulatedRuntime:
         self.placement: ThreadPlacement = place_threads(
             topology, n_threads, affinity
         )
+        self.faults = faults
+        if faults is not None:
+            failed, stragglers = faults.resolve(n_threads)
+        else:
+            failed, stragglers = set(), set()
+        self._failed = failed
+        self._stragglers = stragglers
+        #: Thread ids that actually retire work, ascending.
+        self._alive = [t for t in range(n_threads) if t not in failed]
+        n_alive = len(self._alive)
         occupancy = self.placement.core_occupancy()
         self._rate = np.where(
             occupancy > 1,
@@ -109,7 +132,8 @@ class SimulatedRuntime:
         self._lat = np.broadcast_to(
             np.asarray(lat, dtype=np.float64) * memory_penalty, (n_threads,)
         )
-        share = pool_bw / n_threads
+        # Dead threads issue no traffic, so survivors split the pool.
+        share = pool_bw / n_alive
         self._dram_bw = np.full(
             n_threads, min(topology.core_stream_bw, share)
         )
@@ -130,16 +154,33 @@ class SimulatedRuntime:
         self._l3_capacity = (
             0.6 * sockets_used * topology.l3_bytes_per_socket * l3_share
         )
-        l3_bw_share = sockets_used * topology.l3_bw_per_socket / n_threads
+        l3_bw_share = sockets_used * topology.l3_bw_per_socket / n_alive
         self._l3_bw = np.full(
             n_threads, min(topology.core_stream_bw * 2.0, l3_bw_share)
         )
+        if stragglers:
+            # A throttled core is uniformly slow: compute rate and
+            # achievable bandwidths all drop by the straggler factor.
+            idx = np.fromiter(sorted(stragglers), dtype=np.intp)
+            factor = faults.straggler_factor
+            self._rate[idx] /= factor
+            self._dram_bw[idx] /= factor
+            self._l3_bw[idx] /= factor
+        if faults is not None:
+            bus = get_bus()
+            if bus.active:
+                bus.metrics.gauge("machine_failed_threads").set(
+                    len(failed)
+                )
+                bus.metrics.gauge("machine_straggler_threads").set(
+                    len(stragglers)
+                )
 
     # ------------------------------------------------------------------
     def atomic_cost(self) -> float:
         """Cost of one contended atomic RMW at this thread count."""
         t = self.topology
-        return t.atomic_s + t.atomic_contention_s * (self.n_threads - 1)
+        return t.atomic_s + t.atomic_contention_s * (len(self._alive) - 1)
 
     def _seconds_per_byte(
         self, total_bytes: float, random_frac: float
@@ -189,30 +230,36 @@ class SimulatedRuntime:
         cost_chunks, byte_chunks = trace.chunk_totals()
         spb = self._seconds_per_byte(trace.total_bytes, trace.random_frac)
         p = self.n_threads
+        alive = self._alive
+        pa = len(alive)
         t_obj = self.topology
         n_chunks = len(cost_chunks)
         busy = np.zeros(p)
-        if p == 1:
-            busy[0] = float(
+        if pa == 1:
+            t0 = alive[0]
+            busy[t0] = float(
                 self._time_on_thread(
-                    cost_chunks.sum(), byte_chunks.sum(), 0, spb
+                    cost_chunks.sum(), byte_chunks.sum(), t0, spb
                 )
             )
-            wall = busy[0] + t_obj.fork_join_s
+            wall = busy[t0] + t_obj.fork_join_s
             barrier_s = 0.0
         else:
             if trace.schedule == "static":
-                for t in range(min(p, n_chunks)):
+                # Chunks re-deal round-robin over the surviving threads.
+                for j in range(min(pa, n_chunks)):
+                    t = alive[j]
                     busy[t] = float(
                         np.sum(
                             self._time_on_thread(
-                                cost_chunks[t::p], byte_chunks[t::p], t, spb
+                                cost_chunks[j::pa], byte_chunks[j::pa],
+                                t, spb,
                             )
                         )
                     )
             else:
                 grab = self.atomic_cost()
-                heap = [(0.0, t) for t in range(p)]
+                heap = [(0.0, t) for t in alive]
                 heapq.heapify(heap)
                 for i in range(n_chunks):
                     avail, t = heapq.heappop(heap)
@@ -223,8 +270,8 @@ class SimulatedRuntime:
                     )
                     busy[t] = done
                     heapq.heappush(heap, (done, t))
-            finish = float(busy.max()) if p else 0.0
-            barrier_s = t_obj.barrier_s(p)
+            finish = float(busy.max()) if pa else 0.0
+            barrier_s = t_obj.barrier_s(pa)
             wall = finish + t_obj.fork_join_s + barrier_s
         bus = get_bus()
         if bus.active:
@@ -277,7 +324,9 @@ class SimulatedRuntime:
         """Simulated time of serial work (runs on thread 0)."""
         spb = self._seconds_per_byte(trace.total_bytes, 0.0)
         seconds = float(
-            self._time_on_thread(trace.cost, trace.total_bytes, 0, spb)
+            self._time_on_thread(
+                trace.cost, trace.total_bytes, self._alive[0], spb
+            )
         )
         bus = get_bus()
         if bus.active:
@@ -322,7 +371,8 @@ class SimulatedRuntime:
         r = len(trace.tasks)
         if r == 0:
             return 0.0
-        p = self.n_threads
+        # Nested task teams are re-formed from the surviving threads.
+        p = len(self._alive)
         slots = min(p, r)
         threads_per_task = max(1, p // r)
         penalty = (

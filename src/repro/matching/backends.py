@@ -31,6 +31,8 @@ from repro.matching.instrument import emit_matching
 from repro.matching.kernels import KERNEL_KINDS, get_plan, run_kernel
 from repro.matching.result import MatchingResult
 from repro.observe import get_bus
+from repro.resilience.degrade import MATCHING_LADDER, emit_degradation
+from repro.resilience.faults import active_fault_plan, maybe_inject
 from repro.sparse.bipartite import BipartiteGraph
 
 __all__ = [
@@ -147,23 +149,47 @@ class KernelMatcher:
         **overrides,
     ) -> MatchingResult:
         kwargs = {**self._kernel_kwargs, **overrides}
-        mate_a, rounds, w_vec = self._impl(
-            self.kind, self.backend, graph, weights, **kwargs
-        )
+        used_backend = self.backend
+        if active_fault_plan() is None:
+            mate_a, rounds, w_vec = self._impl(
+                self.kind, used_backend, graph, weights, **kwargs
+            )
+        else:
+            # Chaos consultation point (site "matching"), plus the
+            # kernel rung of the degradation ladder: a crashed numpy
+            # kernel falls back to the interpreted reference, which is
+            # tested bit-identical against it.
+            try:
+                maybe_inject("matching")
+                mate_a, rounds, w_vec = self._impl(
+                    self.kind, used_backend, graph, weights, **kwargs
+                )
+            except Exception as exc:  # noqa: BLE001 - ladder boundary
+                if used_backend != MATCHING_LADDER[-1]:
+                    fallback = MATCHING_LADDER[-1]
+                    emit_degradation(
+                        "matching", used_backend, fallback, repr(exc)
+                    )
+                    used_backend = fallback
+                    mate_a, rounds, w_vec = self._impl(
+                        self.kind, used_backend, graph, weights, **kwargs
+                    )
+                else:
+                    raise
         result = MatchingResult.from_mates(
             graph, mate_a, weights=w_vec, rounds=rounds
         )
         algorithm = _ALGORITHM_LABEL[self.kind]
-        emit_matching(algorithm, graph, result, backend=self.backend)
+        emit_matching(algorithm, graph, result, backend=used_backend)
         bus = get_bus()
         if bus.active:
             bus.metrics.counter(
                 "repro_matching_backend_calls_total",
-                backend=self.backend, kind=self.kind,
+                backend=used_backend, kind=self.kind,
             ).inc()
             bus.metrics.histogram(
                 "repro_matching_backend_rounds",
-                backend=self.backend, kind=self.kind,
+                backend=used_backend, kind=self.kind,
             ).observe(float(len(result.rounds)))
         return result
 

@@ -38,6 +38,20 @@ Event types
 ``multilevel_level``
     One V-cycle level transition (coarsen / solve / refine) with the
     level's problem sizes; emitted by ``multilevel/vcycle.py``.
+``fault_injected``
+    One fired chaos fault from an armed
+    :class:`repro.resilience.FaultPlan`; emitted at every consultation
+    point (``resilience/faults.py``).
+``task_retry``
+    One supervised retry of a failed or timed-out task, with the
+    backoff it slept; emitted by ``resilience/supervise.py``.
+``backend_degraded``
+    One taken step down a degradation ladder (execution backend or
+    matching kernel); emitted by ``resilience/degrade.py`` and the
+    kernel fallback in ``matching/backends.py``.
+``checkpoint``
+    One saved :class:`repro.resilience.SolverCheckpoint`; emitted by
+    ``resilience/checkpoint.py`` on behalf of BP and Klau.
 
 >>> validate_event("iteration", {
 ...     "method": "bp", "iteration": 1, "objective": 2.0,
@@ -79,6 +93,12 @@ EVENT_TYPES: dict[str, tuple[str, ...]] = {
     "barrier": ("step", "n_threads", "seconds"),
     "metric": ("metric", "metric_kind", "labels", "value"),
     "multilevel_level": ("level", "action", "n_a", "n_b", "n_edges_l"),
+    "fault_injected": ("site", "kind", "task_index", "worker_id"),
+    "task_retry": (
+        "site", "task_index", "attempt", "backend", "reason", "backoff_s",
+    ),
+    "backend_degraded": ("site", "from_backend", "to_backend", "reason"),
+    "checkpoint": ("method", "iteration", "key"),
 }
 
 

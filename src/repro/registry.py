@@ -63,6 +63,11 @@ class SolverSpec:
     aliases: tuple[str, ...] = ()
     supports_parallel: bool = False
     supports_trace: bool = False
+    #: The solver accepts the checkpoint/resume keyword group
+    #: (``checkpoint_every``, ``checkpoint_store``, ``checkpoint_key``,
+    #: ``resume``) and can warm-resume from a
+    #: :class:`repro.resilience.SolverCheckpoint`.
+    supports_checkpoint: bool = False
 
 
 _REGISTRY: dict[str, SolverSpec] = {}
@@ -117,6 +122,10 @@ def align(
     *,
     parallel: ParallelConfig | None = None,
     trace: Any | None = None,
+    checkpoint_every: int = 0,
+    checkpoint_store: Any | None = None,
+    checkpoint_key: str = "",
+    resume: bool = False,
 ) -> AlignmentResult:
     """Align ``problem`` with the named method.
 
@@ -137,6 +146,14 @@ def align(
     trace:
         A work-trace collector (:class:`~repro.machine.trace.AlgorithmTracer`)
         for methods that record replayable machine traces.
+    checkpoint_every, checkpoint_store, checkpoint_key, resume:
+        Checkpoint/resume wiring (see :mod:`repro.resilience`):
+        snapshot the solver's iterate state into ``checkpoint_store``
+        under ``checkpoint_key`` every ``checkpoint_every`` iterations,
+        and — when ``resume`` is set — warm-resume from any snapshot
+        already stored under that key.  Only methods registered with
+        ``supports_checkpoint`` accept these; others raise
+        :class:`ConfigurationError` rather than silently restarting.
     """
     spec = get_solver(method)
     cfg = _coerce_config(spec, config)
@@ -153,17 +170,30 @@ def align(
                 f"method {spec.name!r} does not support work tracing"
             )
         kwargs["tracer"] = trace
+    if checkpoint_every > 0 or resume:
+        if not spec.supports_checkpoint:
+            raise ConfigurationError(
+                f"method {spec.name!r} does not support checkpoint/resume"
+            )
+        if checkpoint_store is None:
+            from repro.resilience import get_checkpoint_store
+
+            checkpoint_store = get_checkpoint_store()
+        kwargs["checkpoint_every"] = checkpoint_every
+        kwargs["checkpoint_store"] = checkpoint_store
+        kwargs["checkpoint_key"] = checkpoint_key or spec.name
+        kwargs["resume"] = resume
     return spec.solve(problem, cfg, **kwargs)
 
 
-def _bp_solve(problem, config, tracer=None, parallel=None):
+def _bp_solve(problem, config, tracer=None, parallel=None, **checkpointing):
     return belief_propagation_align(
-        problem, config, tracer, parallel=parallel
+        problem, config, tracer, parallel=parallel, **checkpointing
     )
 
 
-def _klau_solve(problem, config, tracer=None):
-    return klau_align(problem, config, tracer)
+def _klau_solve(problem, config, tracer=None, **checkpointing):
+    return klau_align(problem, config, tracer, **checkpointing)
 
 
 def _isorank_solve(problem, config):
@@ -181,6 +211,7 @@ register_solver(
         solve=_bp_solve,
         supports_parallel=True,
         supports_trace=True,
+        supports_checkpoint=True,
     )
 )
 register_solver(
@@ -190,6 +221,7 @@ register_solver(
         solve=_klau_solve,
         aliases=("mr",),
         supports_trace=True,
+        supports_checkpoint=True,
     )
 )
 register_solver(

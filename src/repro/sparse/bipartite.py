@@ -122,6 +122,12 @@ class BipartiteGraph:
                     "edges must be strictly sorted by (a, b); "
                     "use from_edges() for arbitrary input"
                 )
+            if not np.isfinite(self.weights).all():
+                raise ValidationError(
+                    "edge weights must be finite (NaN/inf found); "
+                    "a corrupted weight silently poisons every objective "
+                    "built on this graph"
+                )
         # Row view: indptr over A vertices (edges already row-grouped).
         row_ptr = np.zeros(self.n_a + 1, dtype=np.int64)
         np.add.at(row_ptr, self.edge_a + 1, 1)

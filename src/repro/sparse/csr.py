@@ -100,6 +100,11 @@ class CSRMatrix:
             row_starts = self.indptr[1:-1]
             if not np.isin(decreases, row_starts).all():
                 raise ValidationError("indices must be sorted within each row")
+            if not np.isfinite(self.data).all():
+                raise ValidationError(
+                    "data must be finite (NaN/inf found); value-only "
+                    "updates propagate a poisoned entry everywhere"
+                )
 
     # ------------------------------------------------------------------
     # Accessors
