@@ -2,16 +2,18 @@
 """Benchmark trajectory harness: run the kernel + backend groups
 (``BENCH_2.json``), the flat-vs-multilevel comparison
 (``BENCH_3.json``), the matching-kernel backend comparison
-(``BENCH_4.json``), and the resilience/supervision overhead group
-(``BENCH_5.json``) at the repo root.
+(``BENCH_4.json``), the resilience/supervision overhead group
+(``BENCH_5.json``), and the HTTP serving latency group
+(``BENCH_6.json``) at the repo root.
 
 Usage (from the repo root)::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--out BENCH_2.json]
         [--repeats 5] [--scale 0.01] [--skip-process]
-        [--group all|kernels-backend|multilevel|matching|resilience]
+        [--group all|kernels-backend|multilevel|matching|resilience|serve]
         [--out3 BENCH_3.json] [--multilevel-n 50000]
-        [--out4 BENCH_4.json] [--out5 BENCH_5.json] [--smoke]
+        [--out4 BENCH_4.json] [--out5 BENCH_5.json]
+        [--out6 BENCH_6.json] [--smoke]
 
 The file captures *this machine's* numbers — machine info (platform,
 CPU count, library versions) rides along so readers can judge whether a
@@ -449,6 +451,106 @@ def resilience_benchmarks(
     return rows, instance
 
 
+def serve_benchmarks(repeats: int, smoke: bool) -> tuple[list[dict], dict]:
+    """Submit-to-result latency through the HTTP job server
+    (``BENCH_6.json``).
+
+    For each problem size, one *cold* row (every submission has a fresh
+    cache key, so the full decode→solve→encode path is timed through a
+    real socket with ``POST /jobs?wait=1``) and one *cached* row (an
+    identical resubmission answered from the content-addressed cache).
+    The cached/cold ratio is the headline: it is what repeated
+    identical submissions — the benchmark-harness access pattern —
+    actually cost.
+    """
+    import http.client
+
+    from repro.generators import powerlaw_alignment_instance
+    from repro.serve import ServeConfig, problem_to_wire, serve_in_thread
+
+    sizes = (("small", 100 if smoke else 300),
+             ("medium", 300 if smoke else 2_000))
+    n_iter = 4 if smoke else 10
+    reps = max(2, repeats // 2) if smoke else max(3, repeats)
+
+    def post_wait(base_url: str, body: dict) -> dict:
+        host, port = base_url.removeprefix("http://").rsplit(":", 1)
+        conn = http.client.HTTPConnection(host, int(port), timeout=600)
+        try:
+            conn.request("POST", "/jobs?wait=1",
+                         body=json.dumps(body).encode(),
+                         headers={"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            doc = json.loads(resp.read())
+        finally:
+            conn.close()
+        if resp.status != 200 or doc.get("state") != "done":
+            raise AssertionError(
+                f"serve bench submission failed: {resp.status} {doc}"
+            )
+        return doc
+
+    rows = []
+    config = ServeConfig(port=0, workers=2, wait_timeout_s=600.0)
+    with serve_in_thread(config) as srv:
+        for label, n in sizes:
+            inst = powerlaw_alignment_instance(
+                n=n, expected_degree=4.0, p_perturb=8.0 / n, seed=11,
+                name=f"serve-{label}",
+            )
+            wire = problem_to_wire(inst.problem)
+            print(f"  serve instance {label}: n={n}, "
+                  f"|E_L|={inst.problem.n_edges_l}, n_iter={n_iter}")
+            seeds = iter(range(10_000))
+
+            def cold(wire=wire, seeds=seeds):
+                # A fresh seed gives a fresh cache key: every sample
+                # pays the full solve.
+                doc = post_wait(srv.base_url, {
+                    "method": "bp",
+                    "config": {"n_iter": n_iter, "matcher": "approx",
+                               "seed": next(seeds)},
+                    "problem": wire,
+                })
+                assert doc["cached"] is False
+
+            samples = timeit(cold, reps)
+            cold_median = summarize(samples)["median_s"]
+            rows.append({
+                "group": "serve", "name": f"submit_cold_{label}",
+                **summarize(samples),
+                "extra": {"n": n, "n_edges_l": inst.problem.n_edges_l,
+                          "n_iter": n_iter, "transport": "http"},
+            })
+            print(f"  serve/submit_cold_{label}: {cold_median:.3f} s")
+
+            body = {"method": "bp",
+                    "config": {"n_iter": n_iter, "matcher": "approx"},
+                    "problem": wire}
+            post_wait(srv.base_url, body)  # populate the cache entry
+
+            def cached(body=body):
+                doc = post_wait(srv.base_url, body)
+                assert doc["cached"] is True
+
+            samples = timeit(cached, reps)
+            cached_median = summarize(samples)["median_s"]
+            rows.append({
+                "group": "serve", "name": f"submit_cached_{label}",
+                **summarize(samples),
+                "extra": {"n": n, "n_edges_l": inst.problem.n_edges_l,
+                          "n_iter": n_iter, "transport": "http",
+                          "speedup_vs_cold": cold_median / cached_median},
+            })
+            print(f"  serve/submit_cached_{label}: {cached_median:.4f} s "
+                  f"({cold_median / cached_median:.0f}x vs cold)")
+    instance = {
+        "family": "powerlaw", "sizes": dict(sizes), "n_iter": n_iter,
+        "workers": config.workers, "smoke": smoke,
+    }
+    return rows, instance
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--out", default=str(
@@ -461,7 +563,7 @@ def main(argv: list[str] | None = None) -> int:
                     help="skip the process-pool rows (e.g. no /dev/shm)")
     ap.add_argument("--group", default="all",
                     choices=["all", "kernels-backend", "multilevel",
-                             "matching", "resilience"])
+                             "matching", "resilience", "serve"])
     ap.add_argument("--multilevel-n", type=int, default=50_000,
                     help="synthetic size for the multilevel group")
     ap.add_argument("--multilevel-repeats", type=int, default=1,
@@ -470,6 +572,8 @@ def main(argv: list[str] | None = None) -> int:
         Path(__file__).resolve().parent.parent / "BENCH_4.json"))
     ap.add_argument("--out5", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_5.json"))
+    ap.add_argument("--out6", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_6.json"))
     ap.add_argument("--smoke", action="store_true",
                     help="shrink the matching group to a CI-size shape "
                          "check (numbers are not performance claims)")
@@ -539,6 +643,19 @@ def main(argv: list[str] | None = None) -> int:
         }
         Path(args.out5).write_text(json.dumps(doc5, indent=2) + "\n")
         print(f"wrote {args.out5} ({len(rows5)} benchmarks)")
+
+    if args.group in ("all", "serve"):
+        print(f"running serving benchmarks (smoke={args.smoke}) ...")
+        rows6, instance6 = serve_benchmarks(args.repeats, args.smoke)
+        doc6 = {
+            "schema": 1,
+            "generated_by": "benchmarks/run_bench.py --group serve",
+            "instance": instance6,
+            "machine": machine_info(),
+            "benchmarks": rows6,
+        }
+        Path(args.out6).write_text(json.dumps(doc6, indent=2) + "\n")
+        print(f"wrote {args.out6} ({len(rows6)} benchmarks)")
     return 0
 
 

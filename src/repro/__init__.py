@@ -84,6 +84,8 @@ from repro.resilience import (
     get_checkpoint_store,
     supervised_map,
 )
+from repro import serve
+from repro.serve import ServeConfig, serve_in_thread
 from repro.sparse import BipartiteGraph, CSRMatrix
 
 __version__ = "1.1.0"
@@ -109,6 +111,7 @@ __all__ = [
     "NetworkAlignmentProblem",
     "ParallelConfig",
     "ResilienceConfig",
+    "ServeConfig",
     "SimulatedRuntime",
     "SolverCheckpoint",
     "SolverSpec",
@@ -142,6 +145,8 @@ __all__ = [
     "powerlaw_graph",
     "register_solver",
     "round_heuristic",
+    "serve",
+    "serve_in_thread",
     "solve_many",
     "suitor_matching",
     "supervised_map",

@@ -7,8 +7,11 @@ Usage::
     python -m repro.cli fig4 --scale 0.02
     python -m repro.cli headline
     python -m repro.cli solve path/to/problem_dir --method bp
+    python -m repro.cli serve --port 8080 --workers 4
 
-Every command prints the paper-style rows/series as plain text.
+Every command prints the paper-style rows/series as plain text, except
+``serve``, which runs the alignment-as-a-service HTTP job server
+(docs/serving.md) until interrupted.
 """
 
 from __future__ import annotations
@@ -308,6 +311,37 @@ def _cmd_solve(args: argparse.Namespace) -> None:
         print(f"matching written to {args.output}")
 
 
+def _cmd_serve(args: argparse.Namespace) -> None:
+    import asyncio
+
+    from repro.serve import AlignmentServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_entries=args.cache_entries,
+        max_queue=args.max_queue,
+        max_active_per_tenant=args.max_active_per_tenant,
+        checkpoint_every=args.checkpoint_every,
+    )
+    server = AlignmentServer(config)
+
+    async def run() -> None:
+        await server.start()
+        print(f"serving alignment jobs on {server.base_url} "
+              f"({config.workers} worker(s); API: docs/serving.md; "
+              f"Ctrl-C stops)")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.store.shutdown()
+
+
 _GENERATE_FAMILIES = ("synthetic", "dmela-scere", "homo-musm",
                       "lcsh-wiki", "lcsh-rameau")
 
@@ -524,6 +558,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--report", action="store_true",
                    help="print the full alignment metrics report")
     p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the alignment-as-a-service HTTP job server "
+             "(docs/serving.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="listen port (0 binds an ephemeral port)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker threads executing jobs")
+    p.add_argument("--cache-entries", type=int, default=128,
+                   dest="cache_entries",
+                   help="content-addressed result-cache bound "
+                        "(0 disables caching)")
+    p.add_argument("--max-queue", type=int, default=64, dest="max_queue",
+                   help="bound on queued+running jobs (0 = unbounded)")
+    p.add_argument("--max-active-per-tenant", type=int, default=8,
+                   dest="max_active_per_tenant",
+                   help="per-tenant active-job bound (0 = unbounded)")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   dest="checkpoint_every", metavar="N",
+                   help="snapshot running solves every N iterations so a "
+                        "crashed attempt warm-resumes (0 = off)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "generate", help="write a problem instance as an SMAT directory"

@@ -42,6 +42,7 @@ __all__ = [
     "SolverSpec",
     "align",
     "available_methods",
+    "canonical_config",
     "get_solver",
     "register_solver",
 ]
@@ -74,7 +75,17 @@ _REGISTRY: dict[str, SolverSpec] = {}
 
 
 def register_solver(spec: SolverSpec) -> SolverSpec:
-    """Add a solver to the registry (name and aliases must be free)."""
+    """Add a solver to the registry.
+
+    Args:
+        spec: The solver to register.
+
+    Returns:
+        The registered spec (so registration can be an expression).
+
+    Raises:
+        ConfigurationError: If the spec's name or any alias is taken.
+    """
     for key in (spec.name, *spec.aliases):
         if key in _REGISTRY:
             raise ConfigurationError(
@@ -86,7 +97,17 @@ def register_solver(spec: SolverSpec) -> SolverSpec:
 
 
 def get_solver(method: str) -> SolverSpec:
-    """Resolve a method string (name or alias) to its spec."""
+    """Resolve a method string (name or alias) to its spec.
+
+    Args:
+        method: A registered solver name or alias.
+
+    Returns:
+        The matching :class:`SolverSpec`.
+
+    Raises:
+        ConfigurationError: If no solver is registered under ``method``.
+    """
     spec = _REGISTRY.get(method)
     if spec is None:
         raise ConfigurationError(
@@ -98,8 +119,39 @@ def get_solver(method: str) -> SolverSpec:
 
 
 def available_methods() -> list[str]:
-    """Primary method names, sorted (aliases not repeated)."""
+    """List the primary method names.
+
+    Returns:
+        The registered solver names, sorted, aliases not repeated.
+    """
     return sorted({spec.name for spec in _REGISTRY.values()})
+
+
+def canonical_config(method: str, config: Any = None) -> dict[str, Any]:
+    """Resolve any accepted config form to its canonical dict.
+
+    The canonical form is the coerced config dataclass's ``to_dict()``:
+    every field present, defaults filled in, JSON-ready scalars.  Two
+    submissions that spell the same configuration differently (defaults
+    omitted vs. written out, key order, a dataclass vs. a mapping)
+    canonicalize identically — which is what provenance records and the
+    serving layer's content-addressed cache keys
+    (:func:`repro.serve.wire.cache_key`) rely on.
+
+    Args:
+        method: A registered solver name or alias.
+        config: The method's config dataclass, a mapping fed through
+            its ``from_dict``, or ``None`` for defaults.
+
+    Returns:
+        The canonical, JSON-serializable config dict.
+
+    Raises:
+        ConfigurationError: Unknown method, unknown config fields, or a
+            config object of the wrong type.
+    """
+    spec = get_solver(method)
+    return _coerce_config(spec, config).to_dict()
 
 
 def _coerce_config(spec: SolverSpec, config: Any) -> Any:
@@ -129,31 +181,35 @@ def align(
 ) -> AlignmentResult:
     """Align ``problem`` with the named method.
 
-    Parameters
-    ----------
-    problem:
-        The alignment instance.
-    method:
-        ``"bp"``, ``"klau"`` (alias ``"mr"``), ``"isorank"``, or
-        ``"multilevel"`` — or any name added via
-        :func:`register_solver`.
-    config:
-        The method's config dataclass, a mapping (``from_dict``), or
-        ``None`` for defaults.
-    parallel:
-        Execution backend for methods that fan work out (BP's batched
-        rounding, the multilevel refine passes).
-    trace:
-        A work-trace collector (:class:`~repro.machine.trace.AlgorithmTracer`)
-        for methods that record replayable machine traces.
-    checkpoint_every, checkpoint_store, checkpoint_key, resume:
-        Checkpoint/resume wiring (see :mod:`repro.resilience`):
-        snapshot the solver's iterate state into ``checkpoint_store``
-        under ``checkpoint_key`` every ``checkpoint_every`` iterations,
-        and — when ``resume`` is set — warm-resume from any snapshot
-        already stored under that key.  Only methods registered with
-        ``supports_checkpoint`` accept these; others raise
-        :class:`ConfigurationError` rather than silently restarting.
+    Args:
+        problem: The alignment instance.
+        method: ``"bp"``, ``"klau"`` (alias ``"mr"``), ``"isorank"``,
+            or ``"multilevel"`` — or any name added via
+            :func:`register_solver`.
+        config: The method's config dataclass, a mapping
+            (``from_dict``), or ``None`` for defaults.
+        parallel: Execution backend for methods that fan work out (BP's
+            batched rounding, the multilevel refine passes).
+        trace: A work-trace collector
+            (:class:`~repro.machine.trace.AlgorithmTracer`) for methods
+            that record replayable machine traces.
+        checkpoint_every: Snapshot the solver's iterate state into
+            ``checkpoint_store`` every this many iterations (``0`` =
+            off); see :mod:`repro.resilience`.
+        checkpoint_store: The snapshot store; defaults to the
+            process-default :class:`~repro.resilience.CheckpointStore`.
+        checkpoint_key: The store key; defaults to the method name.
+        resume: Warm-resume from any snapshot already stored under
+            ``checkpoint_key`` before iterating.
+
+    Returns:
+        The method's :class:`~repro.core.result.AlignmentResult`.
+
+    Raises:
+        ConfigurationError: Unknown method, bad config, or a
+            ``parallel``/``trace``/checkpoint request against a method
+            whose spec does not declare support for it — the facade
+            raises rather than silently dropping the request.
     """
     spec = get_solver(method)
     cfg = _coerce_config(spec, config)

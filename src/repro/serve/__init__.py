@@ -1,0 +1,58 @@
+"""Alignment-as-a-service: the ``repro.serve`` HTTP job server.
+
+The layer that turns the library into a service: an asyncio HTTP API
+(stdlib only — no frameworks) exposing submit/status/result/cancel over
+the :func:`repro.align` facade, with a content-addressed result cache,
+admission control and per-tenant quotas, NDJSON progress streaming off
+the observe bus, and supervised execution with checkpoint-backed resume
+on worker loss.
+
+The API contract lives in ``docs/serving.md`` (normative; its examples
+are executed by the docs-consistency tests).  Quick start::
+
+    from repro.serve import ServeConfig, serve_in_thread
+
+    with serve_in_thread(ServeConfig(port=0, workers=2)) as server:
+        print(server.base_url)   # POST /jobs, GET /jobs/{id}, ...
+
+or, from a shell: ``python -m repro.cli serve --port 8080``.
+
+Module map: :mod:`~repro.serve.wire` (JSON schemas, hashing, the error
+envelope), :mod:`~repro.serve.cache` (content-addressed LRU),
+:mod:`~repro.serve.quotas` (admission control), :mod:`~repro.serve.jobs`
+(job store + worker pool), :mod:`~repro.serve.server` (the HTTP front
+end), :mod:`~repro.serve.config` (:class:`ServeConfig`).
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.config import ServeConfig
+from repro.serve.jobs import JOB_STATES, TERMINAL_STATES, Job, JobStore
+from repro.serve.quotas import AdmissionError, TenantQuotas
+from repro.serve.server import AlignmentServer, serve_in_thread
+from repro.serve.wire import (
+    cache_key,
+    error_envelope,
+    problem_digest,
+    problem_from_wire,
+    problem_to_wire,
+    result_to_wire,
+)
+
+__all__ = [
+    "AdmissionError",
+    "AlignmentServer",
+    "JOB_STATES",
+    "Job",
+    "JobStore",
+    "ResultCache",
+    "ServeConfig",
+    "TERMINAL_STATES",
+    "TenantQuotas",
+    "cache_key",
+    "error_envelope",
+    "problem_digest",
+    "problem_from_wire",
+    "problem_to_wire",
+    "result_to_wire",
+    "serve_in_thread",
+]

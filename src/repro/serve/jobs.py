@@ -1,0 +1,474 @@
+"""The job store: queue, worker pool, progress capture, lifecycle.
+
+A job moves ``queued → running → done | failed | cancelled`` (plus the
+virtual ``cancelling`` the status document shows when cancellation was
+requested against a running solve).  The store owns:
+
+* the **submission path** — wire decoding, admission control
+  (:mod:`repro.serve.quotas`), the content-addressed cache lookup
+  (:mod:`repro.serve.cache`), and job creation;
+* the **worker pool** — plain threads draining a deque.  Each job
+  executes through :func:`repro.resilience.supervised_map` at site
+  ``"serve.job"`` on the serial rung, which (a) runs the solver on the
+  worker's own thread so progress events can be attributed to the job,
+  (b) gives every job the retry/backoff machinery, and (c) — with
+  ``checkpoint_every`` set — lets a crashed attempt *warm-resume* from
+  its last :class:`~repro.resilience.SolverCheckpoint` instead of
+  recomputing from iteration 1 (the key is ``serve:{job_id}``, in the
+  process-default :class:`~repro.resilience.CheckpointStore`);
+* **progress capture** — while a job runs, a :class:`_JobProgressSink`
+  subscribes to the process-default observe bus and keeps only events
+  emitted from the job's worker thread, translating ``iteration`` /
+  ``checkpoint`` / ``task_retry`` events into the NDJSON progress
+  frames ``GET /jobs/{id}/events`` streams.
+
+Cancellation is cooperative: a *queued* job is removed before it ever
+starts; a *running* job cannot be preempted (the solvers have no abort
+hook), so it is marked, runs to completion, and its result is dropped
+and never cached.
+"""
+
+from __future__ import annotations
+
+import math
+import secrets
+import threading
+import time
+from collections import deque
+from typing import Any, Mapping
+
+from repro.accel.config import ParallelConfig
+from repro.errors import ValidationError
+from repro.observe import get_bus
+from repro.resilience.config import ResilienceConfig
+from repro.serve.cache import ResultCache
+from repro.serve.config import ServeConfig
+from repro.serve.quotas import AdmissionError, TenantQuotas
+from repro.serve.wire import (
+    cache_key,
+    error_envelope,
+    problem_digest,
+    problem_from_wire,
+    result_to_wire,
+)
+
+__all__ = ["JOB_STATES", "TERMINAL_STATES", "Job", "JobStore"]
+
+#: Every state a job document can report, in lifecycle order.
+JOB_STATES = ("queued", "running", "cancelling", "done", "failed",
+              "cancelled")
+#: The states that end a job (set its terminal event, release its slot).
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+def _clean(value: Any) -> Any:
+    """Make one frame field JSON-strict (non-finite floats → ``None``)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+class Job:
+    """One submitted alignment job and everything observed about it.
+
+    Fields are written by the submitting thread and one worker thread;
+    the job's lock guards all mutable state, and ``_terminal`` (a
+    :class:`threading.Event`) supports ``?wait=1`` submissions.
+    """
+
+    def __init__(self, job_id: str, tenant: str, method: str,
+                 config: dict[str, Any], problem: Any, digest: str,
+                 key: str) -> None:
+        self.id = job_id
+        self.tenant = tenant
+        self.method = method
+        self.config = config
+        self.problem = problem
+        self.digest = digest
+        self.key = key
+        self.state = "queued"
+        self.cached = False
+        self.cancel_requested = False
+        self.created_s = time.time()
+        self.started_s: float | None = None
+        self.finished_s: float | None = None
+        self.attempts = 0
+        self.iterations = 0
+        self.last_objective: float | None = None
+        self.result: dict[str, Any] | None = None
+        self.error: dict[str, Any] | None = None
+        self._lock = threading.Lock()
+        self._frames: list[dict[str, Any]] = []
+        self._terminal = threading.Event()
+
+    # -- progress frames ----------------------------------------------
+    def add_frame(self, frame: dict[str, Any]) -> None:
+        """Append one NDJSON progress frame (thread-safe)."""
+        with self._lock:
+            self._frames.append(frame)
+
+    def frames_since(self, start: int) -> list[dict[str, Any]]:
+        """Frames appended at or after index ``start`` (a snapshot)."""
+        with self._lock:
+            return self._frames[start:]
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job reached ``done``/``failed``/``cancelled``."""
+        return self._terminal.is_set()
+
+    def wait_terminal(self, timeout: float | None = None) -> bool:
+        """Block until terminal; ``False`` if ``timeout`` expired first."""
+        return self._terminal.wait(timeout)
+
+    # -- documents -----------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """The status document ``GET /jobs/{id}`` returns.
+
+        Returns:
+            A JSON-ready dict; ``state`` reports the virtual
+            ``"cancelling"`` while a running job has cancellation
+            pending.
+        """
+        with self._lock:
+            state = self.state
+            if state == "running" and self.cancel_requested:
+                state = "cancelling"
+            doc: dict[str, Any] = {
+                "id": self.id,
+                "state": state,
+                "method": self.method,
+                "config": self.config,
+                "tenant": self.tenant,
+                "problem_digest": self.digest,
+                "cached": self.cached,
+                "created": self.created_s,
+                "started": self.started_s,
+                "finished": self.finished_s,
+                "attempts": self.attempts,
+                "progress": {
+                    "iterations": self.iterations,
+                    "objective": _clean(self.last_objective),
+                },
+            }
+            if self.error is not None:
+                doc["error"] = self.error["error"]
+            return doc
+
+
+class _JobProgressSink:
+    """Observe-bus sink keeping only the owning worker thread's events.
+
+    The process-default bus is shared by every concurrent job; filtering
+    on :func:`threading.get_ident` of the thread that runs this job's
+    solve (the serial supervision rung executes in the worker thread
+    itself) attributes each event stream to exactly one job.
+    """
+
+    def __init__(self, job: Job, thread_ident: int) -> None:
+        self._job = job
+        self._ident = thread_ident
+
+    def write(self, event: Any) -> None:
+        """Translate one bus event into a progress frame (or drop it)."""
+        if threading.get_ident() != self._ident:
+            return
+        f = event.fields
+        if event.type == "iteration":
+            frame = {
+                "type": "iteration",
+                "iteration": f["iteration"],
+                "objective": _clean(f["objective"]),
+                "weight_part": _clean(f["weight_part"]),
+                "overlap_part": _clean(f["overlap_part"]),
+                "upper_bound": _clean(f["upper_bound"]),
+            }
+            with self._job._lock:
+                self._job.iterations = f["iteration"]
+                self._job.last_objective = f["objective"]
+                self._job._frames.append(frame)
+        elif event.type == "checkpoint":
+            self._job.add_frame(
+                {"type": "checkpoint", "iteration": f["iteration"]}
+            )
+        elif event.type == "task_retry":
+            self._job.add_frame({
+                "type": "retry", "attempt": f["attempt"],
+                "reason": f["reason"], "backoff_s": f["backoff_s"],
+            })
+
+    def close(self) -> None:
+        """Nothing to release (frames live on the job)."""
+
+
+def _execute_job_task(task: tuple) -> Any:
+    """Supervised task body: one alignment solve with checkpoint wiring.
+
+    Args:
+        task: ``(problem, method, config, checkpoint_every, key)``.
+            With checkpointing on (and a method that supports it), the
+            solve snapshots under ``key`` in the process-default store
+            and ``resume=True`` warm-resumes from whatever an earlier
+            crashed attempt left there; a clean finish discards the key.
+
+    Returns:
+        The :class:`~repro.core.result.AlignmentResult`.
+
+    Raises:
+        Exception: Whatever the solver raises — the supervisor owns the
+            retry decision.
+    """
+    problem, method, config, ckpt_every, ckpt_key = task
+    from repro.registry import align, get_solver
+
+    kwargs: dict[str, Any] = {}
+    if ckpt_every > 0 and get_solver(method).supports_checkpoint:
+        from repro.resilience import get_checkpoint_store
+
+        kwargs = {
+            "checkpoint_every": ckpt_every,
+            "checkpoint_store": get_checkpoint_store(),
+            "checkpoint_key": ckpt_key,
+            "resume": True,
+        }
+    result = align(problem, method, config, **kwargs)
+    if kwargs:
+        from repro.resilience import get_checkpoint_store
+
+        get_checkpoint_store().discard(ckpt_key)
+    return result
+
+
+class JobStore:
+    """Owns every job, the run queue, and the worker pool.
+
+    Args:
+        config: The serving policy (worker count, bounds, supervision).
+        cache: Optional externally owned :class:`ResultCache` (the
+            server shares one across its lifetime); built from
+            ``config.cache_entries`` when omitted.
+    """
+
+    def __init__(self, config: ServeConfig,
+                 cache: ResultCache | None = None) -> None:
+        self.config = config
+        self.cache = cache if cache is not None else ResultCache(
+            config.cache_entries)
+        self.quotas = TenantQuotas(config.max_queue,
+                                   config.max_active_per_tenant)
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._jobs: dict[str, Job] = {}
+        self._queue: deque[str] = deque()
+        self._closed = False
+        self._workers = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"serve-worker-{i}", daemon=True)
+            for i in range(config.workers)
+        ]
+        for t in self._workers:
+            t.start()
+
+    # -- submission ----------------------------------------------------
+    def submit(self, doc: Mapping[str, Any], tenant: str) -> Job:
+        """Admit one job submission (the body of ``POST /jobs``).
+
+        Args:
+            doc: The decoded request body: ``method`` (default
+                ``"bp"``), optional ``config`` mapping, and the wire
+                ``problem``.
+            tenant: The submitting tenant (``X-Tenant`` header).
+
+        Returns:
+            The created :class:`Job` — already terminal with
+            ``cached=True`` on a content-address hit, else queued.
+
+        Raises:
+            ConfigurationError: Unknown method or bad config fields.
+            ValidationError: Malformed problem document.
+            AdmissionError: Queue full, tenant over quota, or problem
+                over the ``max_edges_l`` size gate.
+        """
+        if not isinstance(doc, Mapping):
+            raise ValidationError("request body must be a JSON object")
+        from repro.registry import canonical_config, get_solver
+
+        method = doc.get("method", "bp")
+        if not isinstance(method, str):
+            raise ValidationError("'method' must be a string")
+        spec = get_solver(method)
+        config = canonical_config(method, doc.get("config"))
+        if "problem" not in doc:
+            raise ValidationError("request body is missing 'problem'")
+        problem = problem_from_wire(doc["problem"])
+        if 0 < self.config.max_edges_l < problem.n_edges_l:
+            raise AdmissionError(
+                "too_large",
+                f"problem has {problem.n_edges_l} candidate edges; this "
+                f"server accepts at most {self.config.max_edges_l}",
+                tenant,
+            )
+        digest = problem_digest(problem)
+        key = cache_key(spec.name, digest, config)
+        job_id = "j-" + secrets.token_hex(6)
+        job = Job(job_id, tenant, spec.name, config, problem, digest, key)
+
+        hit = self.cache.get(key)
+        if hit is not None:
+            job.result = hit
+            job.cached = True
+            job.problem = None  # the arrays are not needed again
+            self._finish(job, "done", release=False)
+            with self._lock:
+                self._jobs[job_id] = job
+            return job
+
+        self.quotas.acquire(tenant)
+        job.add_frame({"type": "state", "state": "queued"})
+        with self._lock:
+            self._jobs[job_id] = job
+            self._queue.append(job_id)
+            self._cond.notify()
+        return job
+
+    # -- lookup / cancel ----------------------------------------------
+    def get(self, job_id: str) -> Job | None:
+        """The job under ``job_id``, or ``None``."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> str | None:
+        """Cancel a job (the body of ``DELETE /jobs/{id}``).
+
+        Args:
+            job_id: The job to cancel.
+
+        Returns:
+            The resulting state — ``"cancelled"`` for a queued job
+            (removed before it starts), ``"cancelling"`` for a running
+            one (marked; its result will be dropped), ``"conflict"``
+            for an already-terminal job — or ``None`` when unknown.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if job.terminal:
+                return "conflict"
+            if job.state == "queued":
+                try:
+                    self._queue.remove(job_id)
+                except ValueError:
+                    pass
+            else:
+                job.cancel_requested = True
+                return "cancelling"
+        self._finish(job, "cancelled")
+        return "cancelled"
+
+    def counts(self) -> dict[str, int]:
+        """Jobs per state (the ``/healthz`` occupancy report)."""
+        out = {state: 0 for state in JOB_STATES}
+        with self._lock:
+            jobs = list(self._jobs.values())
+        for job in jobs:
+            out[job.snapshot()["state"]] += 1
+        return out
+
+    # -- execution -----------------------------------------------------
+    def _worker_loop(self) -> None:
+        """One worker thread: pop, run, repeat until shutdown."""
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if self._closed:
+                    return
+                job_id = self._queue.popleft()
+                job = self._jobs[job_id]
+            self._run(job)
+
+    def _run(self, job: Job) -> None:
+        """Execute one job under supervision on this worker thread."""
+        with self._lock:
+            if job.cancel_requested:
+                cancelled = True
+            else:
+                cancelled = False
+                job.state = "running"
+                job.started_s = time.time()
+        if cancelled:
+            self._finish(job, "cancelled")
+            return
+        job.add_frame({"type": "state", "state": "running"})
+        resilience = ResilienceConfig(
+            timeout_s=self.config.timeout_s,
+            max_retries=self.config.max_retries,
+        )
+        parallel = ParallelConfig(backend="serial", resilience=resilience)
+        task = (job.problem, job.method, job.config,
+                self.config.checkpoint_every, f"serve:{job.id}")
+        bus = get_bus()
+        sink = _JobProgressSink(job, threading.get_ident())
+        bus.add_sink(sink)
+        try:
+            from repro.resilience import supervised_map
+
+            outcome = supervised_map(
+                _execute_job_task, [task], parallel, site="serve.job"
+            )[0]
+        finally:
+            bus.remove_sink(sink)
+        job.attempts = outcome.attempts
+        if not outcome.ok:
+            job.error = error_envelope(
+                "internal", str(outcome.error.message),
+                {"attempts": outcome.attempts},
+            )
+            self._finish(job, "failed")
+            return
+        payload = result_to_wire(outcome.value)
+        if job.cancel_requested:
+            # The solve could not be preempted; honor the cancellation
+            # by dropping (and never caching) its result.
+            self._finish(job, "cancelled")
+            return
+        job.result = payload
+        self.cache.put(job.key, payload)
+        self._finish(job, "done")
+
+    def _finish(self, job: Job, state: str, release: bool = True) -> None:
+        """Move ``job`` to a terminal state exactly once."""
+        with self._lock:
+            if job.terminal:
+                return
+            job.state = state
+            job.finished_s = time.time()
+            job.problem = None  # free the arrays; the wire result remains
+            job._terminal.set()
+        job.add_frame({"type": "state", "state": state})
+        if release:
+            self.quotas.release(job.tenant)
+        bus = get_bus()
+        if bus.active:
+            bus.metrics.counter(
+                "repro_serve_jobs_total", state=state
+            ).inc()
+
+    # -- lifecycle -----------------------------------------------------
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop the workers: cancel queued jobs, join the pool.
+
+        Args:
+            timeout: Per-thread join budget; a worker mid-solve finishes
+                its job before exiting (solves cannot be preempted).
+        """
+        with self._lock:
+            self._closed = True
+            pending = [self._jobs[j] for j in self._queue]
+            self._queue.clear()
+            self._cond.notify_all()
+        for job in pending:
+            self._finish(job, "cancelled")
+        for t in self._workers:
+            t.join(timeout)

@@ -1,13 +1,21 @@
-"""Docs/code consistency: the observability schema contract.
+"""Docs/code consistency: the documentation is executable.
 
 docs/observability.md promises that every event type the code can emit
 is documented there.  These tests enforce the promise in both
 directions, check that each documented section lists every required
 field, run the doctests embedded in the ``repro.observe`` modules, and
 keep the README docs index pointing at pages that exist.
+
+docs/serving.md goes further: it is a normative API reference whose
+paired ``request``/``response`` blocks and ``python`` blocks are parsed
+out of the page and executed, in document order, against live
+in-process servers (:class:`TestServingDoc`).  A documented status code
+or body field that the server does not produce fails the suite.
 """
 
 import doctest
+import http.client
+import json
 import re
 from pathlib import Path
 
@@ -134,6 +142,187 @@ class TestPerformanceDoc:
         )
         assert args.backend == "process"
         assert args.jobs == 4
+
+
+# --------------------------------------------------------------------
+# docs/serving.md: execute the documented API examples
+# --------------------------------------------------------------------
+
+SERVING = REPO / "docs" / "serving.md"
+
+_BLOCK_RE = re.compile(r"```(request|response|python)\n(.*?)```", re.DOTALL)
+
+#: Every error-envelope code the server can emit (docs must list all).
+SERVE_ERROR_CODES = (
+    "bad_request", "not_found", "method_not_allowed", "conflict", "gone",
+    "too_large", "quota_exceeded", "queue_full", "timeout", "internal",
+)
+
+#: Every route the server exposes (docs must show each one).
+SERVE_ROUTES = (
+    "GET /healthz", "POST /jobs", "GET /jobs/{id}",
+    "GET /jobs/{id}/result", "GET /jobs/{id}/events", "DELETE /jobs/{id}",
+)
+
+
+def serving_blocks() -> list[tuple[str, str]]:
+    """The page's fenced example blocks, in document order."""
+    text = SERVING.read_text(encoding="utf-8")
+    return _BLOCK_RE.findall(text)
+
+
+def _parse_request(body: str) -> tuple[str, str, dict, str]:
+    """Split a ``request`` block into method, path, headers, payload."""
+    lines = body.splitlines()
+    method, _, path = lines[0].partition(" ")
+    headers: dict[str, str] = {}
+    i = 1
+    while i < len(lines) and lines[i].strip():
+        name, _, value = lines[i].partition(":")
+        headers[name.strip()] = value.strip()
+        i += 1
+    payload = "\n".join(lines[i + 1:]).strip()
+    return method, path, headers, payload
+
+
+def _parse_response(body: str):
+    """Split a ``response`` block into status and body pattern."""
+    lines = body.splitlines()
+    status = int(lines[0].strip())
+    rest = "\n".join(lines[1:]).strip()
+    return status, json.loads(rest) if rest else None
+
+
+def _subset_match(pattern, actual, bindings: dict, where: str) -> None:
+    """Assert ``actual`` matches the documented ``pattern``.
+
+    ``"..."`` matches anything; ``"{name}"`` matches any value and
+    binds it; dicts match as subsets; lists match elementwise.
+    """
+    if isinstance(pattern, str):
+        if pattern == "...":
+            return
+        m = re.fullmatch(r"\{(\w+)\}", pattern)
+        if m:
+            bindings[m.group(1)] = actual
+            return
+        assert pattern == actual, f"{where}: {actual!r} != {pattern!r}"
+    elif isinstance(pattern, dict):
+        assert isinstance(actual, dict), (
+            f"{where}: expected an object, got {actual!r}"
+        )
+        for key, sub in pattern.items():
+            assert key in actual, f"{where}: response lacks key {key!r}"
+            _subset_match(sub, actual[key], bindings, f"{where}.{key}")
+    elif isinstance(pattern, list):
+        assert isinstance(actual, list) and len(actual) == len(pattern), (
+            f"{where}: expected a list of {len(pattern)}, got {actual!r}"
+        )
+        for i, (sub, item) in enumerate(zip(pattern, actual)):
+            _subset_match(sub, item, bindings, f"{where}[{i}]")
+    else:
+        assert pattern == actual, f"{where}: {actual!r} != {pattern!r}"
+
+
+def _substitute(path: str, bindings: dict) -> str:
+    """Replace ``{name}`` placeholders in a request path."""
+    def repl(m: re.Match) -> str:
+        name = m.group(1)
+        assert name in bindings, (
+            f"request path {path!r} uses {{{name}}} before any response "
+            f"captured it"
+        )
+        return str(bindings[name])
+
+    return re.sub(r"\{(\w+)\}", repl, path)
+
+
+def _http(base_url: str, method: str, path: str, headers: dict,
+          payload: str) -> tuple[int, bytes]:
+    """One request against a live server; returns (status, body)."""
+    host, port = base_url.removeprefix("http://").rsplit(":", 1)
+    conn = http.client.HTTPConnection(host, int(port), timeout=60)
+    try:
+        conn.request(method, path,
+                     body=payload.encode("utf-8") if payload else None,
+                     headers=headers)
+        resp = conn.getresponse()
+        return resp.status, resp.read()
+    finally:
+        conn.close()
+
+
+@pytest.fixture(scope="module")
+def serving_servers():
+    """The two live servers serving.md's examples are written against."""
+    from repro.serve import ServeConfig, serve_in_thread
+
+    main_cfg = ServeConfig(port=0, workers=1)
+    drain_cfg = ServeConfig(port=0, workers=0, max_queue=3,
+                            max_active_per_tenant=2)
+    with serve_in_thread(main_cfg) as main:
+        with serve_in_thread(drain_cfg) as drain:
+            yield main.base_url, drain.base_url
+
+
+class TestServingDoc:
+    def test_documented_examples_execute(self, serving_servers):
+        """Run every example block of serving.md, in document order."""
+        base, drain = serving_servers
+        bindings: dict = {}
+        blocks = serving_blocks()
+        assert blocks, "docs/serving.md has no example blocks"
+        pending = None  # the request awaiting its response block
+        for kind, body in blocks:
+            if kind == "python":
+                code = compile(body, str(SERVING), "exec")
+                exec(code, {"BASE": base, "DRAIN": drain})  # noqa: S102
+                continue
+            if kind == "request":
+                assert pending is None, (
+                    "two consecutive request blocks in serving.md"
+                )
+                pending = _parse_request(body)
+                continue
+            assert pending is not None, (
+                "response block without a preceding request in serving.md"
+            )
+            method, path, headers, payload = pending
+            pending = None
+            target = drain if headers.pop("Host", None) == "drain" else base
+            status, raw = _http(target, method,
+                                _substitute(path, bindings), headers,
+                                payload)
+            want_status, pattern = _parse_response(body)
+            label = f"{method} {path}"
+            assert status == want_status, (
+                f"{label}: documented status {want_status}, got {status}: "
+                f"{raw[:400]!r}"
+            )
+            if pattern is not None:
+                _subset_match(pattern, json.loads(raw), bindings, label)
+        assert pending is None, "trailing request block without a response"
+
+    def test_every_route_documented(self):
+        text = SERVING.read_text(encoding="utf-8")
+        for route in SERVE_ROUTES:
+            assert f"`{route}`" in text, (
+                f"docs/serving.md does not document the route {route!r}"
+            )
+
+    def test_every_error_code_documented(self):
+        text = SERVING.read_text(encoding="utf-8")
+        for code in SERVE_ERROR_CODES:
+            assert f"`{code}`" in text, (
+                f"docs/serving.md does not document error code {code!r}"
+            )
+
+    def test_frame_types_documented(self):
+        """The NDJSON frame table must cover every frame the job store
+        can record."""
+        text = SERVING.read_text(encoding="utf-8")
+        for frame_type in ("state", "iteration", "checkpoint", "retry"):
+            assert f"`{frame_type}`" in text
 
 
 class TestDocsIndex:

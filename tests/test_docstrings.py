@@ -1,0 +1,140 @@
+"""A lightweight pydocstyle-subset lint for the public API surface.
+
+The repo standardizes on Google-style docstrings (one summary line,
+then ``Args:`` / ``Returns:`` / ``Raises:`` sections).  Rather than
+adding a lint dependency, this suite enforces the load-bearing subset
+with ``ast``:
+
+* every swept module, public class, and public function/method has a
+  docstring;
+* the summary line is the first line, non-empty, and ends with a
+  period;
+* public callables taking two or more required arguments document them
+  in an ``Args:`` section;
+* everything exported from ``repro.__all__`` carries a docstring.
+
+Swept modules: ``repro/registry.py`` and all of ``repro/serve/`` (the
+surfaces this convention was normalized on).  Extend ``SWEPT`` as
+further modules are brought into line.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+
+SWEPT = sorted(
+    [SRC / "registry.py", SRC / "__init__.py"]
+    + list((SRC / "serve").glob("*.py"))
+)
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _walk_definitions(tree: ast.Module):
+    """Yield (qualname, node) for public defs, module- and class-level."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            if not _is_public(node.name):
+                continue
+            yield node.name, node
+            if isinstance(node, ast.ClassDef):
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef)) and \
+                            _is_public(sub.name):
+                        yield f"{node.name}.{sub.name}", sub
+
+
+def _required_args(node) -> list[str]:
+    """Names of required (non-defaulted, non-self) arguments."""
+    args = node.args
+    positional = args.posonlyargs + args.args
+    n_defaults = len(args.defaults)
+    required = positional[:len(positional) - n_defaults]
+    kwonly = [
+        a for a, d in zip(args.kwonlyargs, args.kw_defaults) if d is None
+    ]
+    names = [a.arg for a in required + kwonly]
+    return [n for n in names if n not in ("self", "cls")]
+
+
+@pytest.mark.parametrize(
+    "path", SWEPT, ids=lambda p: str(p.relative_to(SRC))
+)
+class TestDocstringStyle:
+    def _tree(self, path: Path) -> ast.Module:
+        return ast.parse(path.read_text(encoding="utf-8"))
+
+    def test_module_has_docstring_summary(self, path):
+        doc = ast.get_docstring(self._tree(path))
+        assert doc, f"{path.name}: missing module docstring"
+        summary = doc.splitlines()[0].strip()
+        assert summary and summary.endswith("."), (
+            f"{path.name}: module summary line must be one sentence "
+            f"ending with a period, got {summary!r}"
+        )
+
+    def test_every_public_definition_documented(self, path):
+        problems = []
+        for qualname, node in _walk_definitions(self._tree(path)):
+            doc = ast.get_docstring(node)
+            if not doc:
+                problems.append(f"{qualname}: missing docstring")
+                continue
+            summary = doc.splitlines()[0].strip()
+            if not summary:
+                problems.append(f"{qualname}: summary must be the "
+                                f"docstring's first line")
+            elif not summary.endswith((".", ":")):
+                problems.append(
+                    f"{qualname}: summary line should end with a "
+                    f"period, got {summary!r}"
+                )
+        assert not problems, (
+            f"{path.relative_to(REPO)}: " + "; ".join(problems)
+        )
+
+    def test_multi_arg_callables_document_args(self, path):
+        problems = []
+        for qualname, node in _walk_definitions(self._tree(path)):
+            if isinstance(node, ast.ClassDef):
+                continue
+            if len(_required_args(node)) < 2:
+                continue
+            doc = ast.get_docstring(node) or ""
+            if "Args:" not in doc:
+                problems.append(qualname)
+        assert not problems, (
+            f"{path.relative_to(REPO)}: callables with 2+ required "
+            f"arguments lacking an Args: section: {problems}"
+        )
+
+
+class TestExportedSurface:
+    def test_every_export_is_documented(self):
+        import repro
+
+        undocumented = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if not callable(obj) and not isinstance(obj, type(repro)):
+                continue  # plain data exports (tuples, version string)
+            if not (getattr(obj, "__doc__", None) or "").strip():
+                undocumented.append(name)
+        assert not undocumented, (
+            f"repro.__all__ exports without docstrings: {undocumented}"
+        )
+
+    def test_all_is_sorted_and_complete(self):
+        import repro
+
+        assert list(repro.__all__) == sorted(repro.__all__)
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ names missing {name}"
