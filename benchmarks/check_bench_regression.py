@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Bench-regression guard: compare a fresh bench run to its baseline.
+
+Usage (from the repo root)::
+
+    python benchmarks/check_bench_regression.py BENCH_7.json fresh.json
+        [--tolerance 0.25] [--absolute] [--min-median-s 0.01]
+
+Rows are matched across the two files by ``(group, name)``.  By default
+the guard compares the *machine-portable* ratio extras — every numeric
+``extra`` key starting with ``speedup`` (higher is better) — and fails
+when a fresh ratio drops more than ``tolerance`` below its baseline.
+Ratios survive a CI runner being slower than the machine that produced
+the baseline, which absolute medians do not.
+
+``--absolute`` compares ``median_s`` instead (fresh must not exceed
+baseline by more than ``tolerance``) — only meaningful when both files
+came from comparable machines.
+
+Rows whose fresh or baseline ``median_s`` is under ``--min-median-s``
+are skipped in ratio mode: a speedup whose denominator is a few
+milliseconds (e.g. the rate-0 warm shortcut) is dominated by timer
+noise, not by the code under test.
+
+Exit status: 0 when no comparison regressed, 1 otherwise (each
+regression is printed).  Any ``warnings`` recorded in the fresh file
+(e.g. ``cpu_count < workers``) are echoed so a failing run can be
+triaged without opening the JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_rows(path: Path) -> tuple[dict[tuple[str, str], dict], dict]:
+    """Index a bench file's rows by ``(group, name)``; also the doc."""
+    doc = json.loads(path.read_text())
+    rows = {}
+    for row in doc.get("benchmarks", []):
+        rows[(row["group"], row["name"])] = row
+    return rows, doc
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", type=Path,
+                    help="the committed bench JSON (e.g. BENCH_7.json)")
+    ap.add_argument("fresh", type=Path,
+                    help="the freshly generated bench JSON to check")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional regression (default 0.25)")
+    ap.add_argument("--absolute", action="store_true",
+                    help="compare median_s instead of speedup ratios")
+    ap.add_argument("--min-median-s", type=float, default=0.01,
+                    help="skip ratio rows timed below this (noise floor)")
+    args = ap.parse_args(argv)
+
+    base_rows, _ = load_rows(args.baseline)
+    fresh_rows, fresh_doc = load_rows(args.fresh)
+    for warning in fresh_doc.get("warnings", []):
+        print(f"note: fresh run warns: {warning}")
+
+    shared = sorted(set(base_rows) & set(fresh_rows))
+    if not shared:
+        print("error: the two files share no (group, name) rows",
+              file=sys.stderr)
+        return 1
+
+    regressions = []
+    compared = 0
+    for key in shared:
+        base, fresh = base_rows[key], fresh_rows[key]
+        label = f"{key[0]}/{key[1]}"
+        if args.absolute:
+            limit = base["median_s"] * (1.0 + args.tolerance)
+            compared += 1
+            if fresh["median_s"] > limit:
+                regressions.append(
+                    f"{label}: median_s {fresh['median_s']:.4f} > "
+                    f"{base['median_s']:.4f} +{args.tolerance:.0%}"
+                )
+            continue
+        if (base["median_s"] < args.min_median_s
+                or fresh["median_s"] < args.min_median_s):
+            print(f"skip: {label} timed below the "
+                  f"{args.min_median_s:g}s noise floor")
+            continue
+        for name, value in base.get("extra", {}).items():
+            if not name.startswith("speedup"):
+                continue
+            if not isinstance(value, (int, float)):
+                continue
+            got = fresh.get("extra", {}).get(name)
+            if not isinstance(got, (int, float)):
+                continue
+            compared += 1
+            floor = value * (1.0 - args.tolerance)
+            if got < floor:
+                regressions.append(
+                    f"{label}: {name} {got:.2f} < {value:.2f} "
+                    f"-{args.tolerance:.0%} (floor {floor:.2f})"
+                )
+
+    mode = "median_s" if args.absolute else "speedup ratios"
+    if not compared:
+        print(f"error: no comparable {mode} found across "
+              f"{len(shared)} shared rows", file=sys.stderr)
+        return 1
+    if regressions:
+        print(f"FAIL: {len(regressions)} regression(s) beyond "
+              f"{args.tolerance:.0%} ({mode}):")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(f"OK: {compared} {mode} comparison(s) across {len(shared)} "
+          f"shared rows, none beyond {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,17 +3,19 @@
 (``BENCH_2.json``), the flat-vs-multilevel comparison
 (``BENCH_3.json``), the matching-kernel backend comparison
 (``BENCH_4.json``), the resilience/supervision overhead group
-(``BENCH_5.json``), and the HTTP serving latency group
-(``BENCH_6.json``) at the repo root.
+(``BENCH_5.json``), the HTTP serving latency group (``BENCH_6.json``),
+and the incremental-realignment group (``BENCH_7.json``) at the repo
+root.
 
 Usage (from the repo root)::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--out BENCH_2.json]
         [--repeats 5] [--scale 0.01] [--skip-process]
-        [--group all|kernels-backend|multilevel|matching|resilience|serve]
+        [--group all|kernels-backend|multilevel|matching|resilience|
+                 serve|incremental]
         [--out3 BENCH_3.json] [--multilevel-n 50000]
         [--out4 BENCH_4.json] [--out5 BENCH_5.json]
-        [--out6 BENCH_6.json] [--smoke]
+        [--out6 BENCH_6.json] [--out7 BENCH_7.json] [--smoke]
 
 The file captures *this machine's* numbers — machine info (platform,
 CPU count, library versions) rides along so readers can judge whether a
@@ -64,6 +66,27 @@ def machine_info() -> dict:
         "scipy": scipy.__version__,
         "cpu_count": os.cpu_count(),
     }
+
+
+def bench_warnings(workers: int) -> list[str]:
+    """Data-quality warnings recorded alongside the numbers.
+
+    A 1-CPU runner timing a 2-worker server measures contention, not
+    latency — BENCH_6 runs there show stddev approaching the median.
+    Recording the condition in the JSON lets readers (and the
+    regression guard) discount those rows instead of chasing phantom
+    regressions.
+    """
+    warns = []
+    cpus = os.cpu_count() or 1
+    if cpus < workers:
+        warns.append(
+            f"cpu_count={cpus} < workers={workers}: worker threads "
+            "contend for the same CPU, so latency medians are inflated "
+            "and stddev can approach the median; treat absolute "
+            "timings as indicative only"
+        )
+    return warns
 
 
 def timeit(fn, repeats: int) -> list[float]:
@@ -551,6 +574,120 @@ def serve_benchmarks(repeats: int, smoke: bool) -> tuple[list[dict], dict]:
     return rows, instance
 
 
+def incremental_benchmarks(
+    repeats: int, smoke: bool
+) -> tuple[list[dict], dict]:
+    """Warm realignment vs. from-scratch re-solve (``BENCH_7.json``).
+
+    One converged BP solve seeds a :class:`~repro.incremental.WarmState`;
+    then, for each perturbation rate, the *cold* row re-solves the
+    perturbed problem from scratch (problem construction + squares
+    build + full BP) and the *warm* row runs
+    :func:`repro.incremental.realign` (incremental squares maintenance
+    + active-set BP seeded from the warm state).  ``speedup_vs_cold``
+    and ``objective_ratio`` ride along on each warm row; the rate-0 run
+    is asserted bit-identical to the seed result.  The instance keeps
+    ``n=2000`` even under ``--smoke`` — the speedup claim needs a
+    non-toy active-set fraction.
+    """
+    from repro.core import BPConfig
+    from repro.core.problem import NetworkAlignmentProblem
+    from repro.generators import powerlaw_alignment_instance
+    from repro.generators.perturb import edit_script
+    from repro.incremental import WarmState, realign
+    from repro.registry import align
+
+    n = 2_000
+    n_iter = 20 if smoke else 60
+    reps = max(2, repeats // 2) if smoke else max(3, repeats)
+    inst = powerlaw_alignment_instance(
+        n=n, expected_degree=4.0, p_perturb=8.0 / n, seed=13,
+        name=f"incr-n{n}",
+    )
+    base = inst.problem
+    _ = base.squares  # the seed solve starts from a built S
+    cfg = BPConfig(n_iter=n_iter, matcher="approx", batch=1)
+    res0 = align(base, "bp", cfg, keep_state=True)
+    warm = WarmState.from_result(base, res0)
+    print(f"  incremental instance: n={n}, |E_L|={base.n_edges_l}, "
+          f"nnz_s={base.squares.nnz}, n_iter={n_iter}")
+
+    rows = []
+    for label, rate in (("rate0", 0.0), ("rate1", 0.01), ("rate5", 0.05)):
+        delta = edit_script(base, l_edge_rate=rate, weight_rate=rate,
+                            seed=17)
+        cold_box: list = []
+
+        def cold(delta=delta, cold_box=cold_box):
+            # Re-apply the delta and rebuild everything from scratch:
+            # fresh problem object, fresh squares, full cold BP.
+            perturbed, _ = base.apply_delta(delta)
+            p = NetworkAlignmentProblem(
+                perturbed.a_graph, perturbed.b_graph, perturbed.ell,
+                alpha=perturbed.alpha, beta=perturbed.beta,
+            )
+            cold_box[:] = [align(p, "bp", cfg)]
+
+        samples = timeit(cold, reps)
+        cold_median = summarize(samples)["median_s"]
+        cold_res = cold_box[0]
+        rows.append({
+            "group": "incremental", "name": f"realign_cold_{label}",
+            **summarize(samples),
+            "extra": {"n": n, "rate": rate, "n_iter": n_iter,
+                      "objective": cold_res.objective},
+        })
+        print(f"  incremental/realign_cold_{label}: {cold_median:.3f} s")
+
+        warm_box: list = []
+
+        def warm_run(delta=delta, warm_box=warm_box):
+            warm_box[:] = list(realign(base, delta, warm, config=cfg,
+                                       keep_state=False))
+
+        samples = timeit(warm_run, reps)
+        warm_median = summarize(samples)["median_s"]
+        _, warm_res, report = warm_box
+        ratio = warm_res.objective / cold_res.objective
+        rows.append({
+            "group": "incremental", "name": f"realign_warm_{label}",
+            **summarize(samples),
+            "extra": {
+                "n": n, "rate": rate, "n_iter": n_iter,
+                "objective": warm_res.objective,
+                "objective_ratio": ratio,
+                "speedup_vs_cold": cold_median / warm_median,
+                "iterations_run": warm_res.params["iterations_run"],
+                "full_sweeps": warm_res.params["full_sweeps"],
+                "touched_edges": int(len(report.touched_edges)),
+            },
+        })
+        print(f"  incremental/realign_warm_{label}: {warm_median:.3f} s "
+              f"({cold_median / warm_median:.1f}x vs cold, "
+              f"objective ratio {ratio:.4f})")
+        if rate == 0.0:
+            if (warm_res.objective != res0.objective
+                    or not np.array_equal(warm_res.matching.mate_a,
+                                          res0.matching.mate_a)):
+                raise AssertionError(
+                    "rate-0 warm realignment is not bit-identical to "
+                    "the seed result"
+                )
+            print("  incremental/rate0 bit-identity: OK")
+        elif abs(1.0 - ratio) > 0.005:
+            raise AssertionError(
+                f"warm objective drifted {abs(1.0 - ratio):.2%} from "
+                f"cold at rate {rate} (contract: within 0.5%)"
+            )
+    instance = {
+        "family": "powerlaw", "n": n, "expected_degree": 4.0,
+        "p_perturb": 8.0 / n, "seed": 13, "n_iter": n_iter,
+        "n_edges_l": base.n_edges_l, "nnz_s": base.squares.nnz,
+        "smoke": smoke,
+    }
+    return rows, instance
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--out", default=str(
@@ -563,7 +700,8 @@ def main(argv: list[str] | None = None) -> int:
                     help="skip the process-pool rows (e.g. no /dev/shm)")
     ap.add_argument("--group", default="all",
                     choices=["all", "kernels-backend", "multilevel",
-                             "matching", "resilience", "serve"])
+                             "matching", "resilience", "serve",
+                             "incremental"])
     ap.add_argument("--multilevel-n", type=int, default=50_000,
                     help="synthetic size for the multilevel group")
     ap.add_argument("--multilevel-repeats", type=int, default=1,
@@ -574,6 +712,8 @@ def main(argv: list[str] | None = None) -> int:
         Path(__file__).resolve().parent.parent / "BENCH_5.json"))
     ap.add_argument("--out6", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_6.json"))
+    ap.add_argument("--out7", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_7.json"))
     ap.add_argument("--smoke", action="store_true",
                     help="shrink the matching group to a CI-size shape "
                          "check (numbers are not performance claims)")
@@ -652,10 +792,27 @@ def main(argv: list[str] | None = None) -> int:
             "generated_by": "benchmarks/run_bench.py --group serve",
             "instance": instance6,
             "machine": machine_info(),
+            "warnings": bench_warnings(instance6["workers"]),
             "benchmarks": rows6,
         }
         Path(args.out6).write_text(json.dumps(doc6, indent=2) + "\n")
         print(f"wrote {args.out6} ({len(rows6)} benchmarks)")
+        for warning in doc6["warnings"]:
+            print(f"  WARNING: {warning}")
+
+    if args.group in ("all", "incremental"):
+        print(f"running incremental benchmarks (smoke={args.smoke}) ...")
+        rows7, instance7 = incremental_benchmarks(args.repeats, args.smoke)
+        doc7 = {
+            "schema": 1,
+            "generated_by": "benchmarks/run_bench.py --group incremental",
+            "instance": instance7,
+            "machine": machine_info(),
+            "warnings": bench_warnings(1),
+            "benchmarks": rows7,
+        }
+        Path(args.out7).write_text(json.dumps(doc7, indent=2) + "\n")
+        print(f"wrote {args.out7} ({len(rows7)} benchmarks)")
     return 0
 
 

@@ -49,6 +49,13 @@ from repro.generators import (
 )
 from repro import observe
 from repro.graph import Graph
+from repro.incremental import (
+    DeltaReport,
+    ProblemDelta,
+    WarmState,
+    apply_delta,
+    realign,
+)
 from repro.machine import SimulatedRuntime, xeon_e7_8870
 from repro.matching import (
     KERNEL_KINDS,
@@ -97,6 +104,7 @@ __all__ = [
     "BipartiteGraph",
     "CSRMatrix",
     "CoarseningMap",
+    "DeltaReport",
     "FaultPlan",
     "FaultSpec",
     "Graph",
@@ -110,13 +118,16 @@ __all__ = [
     "MultilevelConfig",
     "NetworkAlignmentProblem",
     "ParallelConfig",
+    "ProblemDelta",
     "ResilienceConfig",
     "ServeConfig",
     "SimulatedRuntime",
     "SolverCheckpoint",
     "SolverSpec",
+    "WarmState",
     "__version__",
     "align",
+    "apply_delta",
     "auction_matching",
     "available_methods",
     "belief_propagation_align",
@@ -143,6 +154,7 @@ __all__ = [
     "parallel_map",
     "powerlaw_alignment_instance",
     "powerlaw_graph",
+    "realign",
     "register_solver",
     "round_heuristic",
     "serve",

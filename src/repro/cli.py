@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli fig4 --scale 0.02
     python -m repro.cli headline
     python -m repro.cli solve path/to/problem_dir --method bp
+    python -m repro.cli realign path/to/problem_dir --delta edits.json
     python -m repro.cli serve --port 8080 --workers 4
 
 Every command prints the paper-style rows/series as plain text, except
@@ -311,6 +312,49 @@ def _cmd_solve(args: argparse.Namespace) -> None:
         print(f"matching written to {args.output}")
 
 
+def _cmd_realign(args: argparse.Namespace) -> None:
+    import json
+
+    from repro.generators.io import load_alignment_problem
+    from repro.incremental import ProblemDelta, WarmState, realign
+
+    problem = load_alignment_problem(
+        args.directory, alpha=args.alpha, beta=args.beta
+    )
+    cfg = _solve_config(args)
+    if args.state:
+        warm = WarmState.load(args.state)
+    else:
+        # No prior state on disk: run the cold solve here, then realign
+        # against it (demonstrates the full loop in one command).
+        from repro.registry import align
+
+        print("no --state given; running the cold solve first",
+              file=sys.stderr)
+        cold = align(problem, args.method, cfg, keep_state=True)
+        warm = WarmState.from_result(problem, cold)
+        print(f"cold: {cold.summary()}")
+    if args.delta:
+        with open(args.delta, "r", encoding="utf-8") as fh:
+            delta = ProblemDelta.from_dict(json.load(fh))
+    else:
+        delta = ProblemDelta.build()
+    new_problem, res, report = realign(
+        problem, delta, warm, method=args.method, config=cfg
+    )
+    print(report.summary())
+    print(res.summary())
+    if args.save_state:
+        WarmState.from_result(new_problem, res).save(args.save_state)
+        print(f"warm state written to {args.save_state}")
+    if args.output:
+        matched = np.flatnonzero(res.matching.mate_a >= 0)
+        with open(args.output, "w") as fh:
+            for a in matched.tolist():
+                fh.write(f"{a} {res.matching.mate_a[a]}\n")
+        print(f"matching written to {args.output}")
+
+
 def _cmd_serve(args: argparse.Namespace) -> None:
     import asyncio
 
@@ -558,6 +602,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--report", action="store_true",
                    help="print the full alignment metrics report")
     p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser(
+        "realign",
+        help="incrementally re-align an edited problem from a warm "
+             "state (docs/incremental.md)",
+    )
+    p.add_argument("directory", help="SMAT problem directory (pre-edit)")
+    p.add_argument(
+        "--delta", default=None, metavar="DELTA.json",
+        help="edit script (ProblemDelta JSON: l_add/l_drop/l_reweight/"
+             "a_add/a_drop/b_add/b_drop); empty delta when omitted",
+    )
+    p.add_argument(
+        "--state", default=None, metavar="STATE.npz",
+        help="warm state from a previous run's --save-state; when "
+             "omitted, a cold solve runs first to produce one",
+    )
+    p.add_argument(
+        "--save-state", default=None, dest="save_state",
+        metavar="STATE.npz",
+        help="write the realigned run's warm state for the next delta",
+    )
+    p.add_argument(
+        "--method", choices=["bp"], default="bp",
+        help="warm-capable method (bp only for now)",
+    )
+    p.add_argument("--config", default=None, metavar="PATH",
+                   help="JSON fed through the method config's from_dict()")
+    p.add_argument("--matcher", default=None,
+                   choices=["exact", "exact-warm", "approx", "approx-queue",
+                            "greedy", "suitor", "auction"],
+                   help="rounding matcher; exact-warm reuses duals "
+                        "across warm roundings")
+    p.add_argument("--iters", type=int, default=None)
+    p.add_argument("--batch", type=int, default=None)
+    p.add_argument("--alpha", type=float, default=1.0)
+    p.add_argument("--beta", type=float, default=2.0)
+    p.add_argument("--output", default=None)
+    p.set_defaults(func=_cmd_realign)
 
     p = sub.add_parser(
         "serve",

@@ -25,7 +25,7 @@ from typing import Any
 import numpy as np
 
 from repro.configtools import ConfigBase
-from repro.core.othermax import othermax_col, othermax_row
+from repro.core.othermax import othermax_col, othermax_grouped, othermax_row
 from repro.core.problem import NetworkAlignmentProblem
 from repro.core.result import AlignmentResult, BestTracker, IterationRecord
 from repro.core.rounding import (
@@ -36,6 +36,7 @@ from repro.core.rounding import (
     round_heuristic,
 )
 from repro.errors import ConfigurationError
+from repro.matching.result import MatchingResult
 from repro.observe import get_bus
 from repro.resilience.faults import maybe_inject
 from repro.sparse.csr import CSRMatrix
@@ -67,6 +68,18 @@ class BPConfig(ConfigBase):
     #: "none"   — raw message updates (BP may oscillate; rounding still
     #:            scores every iterate, so the best is kept).
     damping: str = "power"
+    #: Incremental (``warm_from=``) runs only: message-residual threshold
+    #: below which an edge is considered settled and leaves the active
+    #: set.  Ignored by cold runs.
+    active_tol: float = 1e-9
+    #: Incremental runs only: when the active set exceeds this fraction
+    #: of |E_L|, the iteration falls back to a full sweep (the subset
+    #: gather/scatter machinery costs more than vectorized full passes).
+    active_max_frac: float = 0.5
+    #: Incremental runs only: round the iterates every this many
+    #: iterations (cold runs round every iteration; warm runs start from
+    #: a good matching, so sparser rounding trades nothing for speed).
+    round_every: int = 1
     #: Accepted on every public config (common surface, round-tripped by
     #: ``to_dict``/``from_dict``); BP itself is deterministic and does
     #: not consume it.
@@ -81,6 +94,12 @@ class BPConfig(ConfigBase):
             raise ConfigurationError("batch must be >= 1")
         if self.damping not in ("power", "fixed", "none"):
             raise ConfigurationError(f"unknown damping {self.damping!r}")
+        if self.active_tol < 0:
+            raise ConfigurationError("active_tol must be >= 0")
+        if not (0.0 < self.active_max_frac <= 1.0):
+            raise ConfigurationError("active_max_frac must be in (0, 1]")
+        if self.round_every < 1:
+            raise ConfigurationError("round_every must be >= 1")
 
 
 def belief_propagation_align(
@@ -94,6 +113,8 @@ def belief_propagation_align(
     checkpoint_store: Any | None = None,
     checkpoint_key: str = "bp",
     resume: bool = False,
+    warm_from: "WarmState | None" = None,
+    keep_state: bool = False,
 ) -> AlignmentResult:
     """Run the BP message-passing method on ``problem``.
 
@@ -125,6 +146,20 @@ def belief_propagation_align(
     absolute iteration number).  A found snapshot takes precedence over
     ``init_messages``.  Stateless matchers only: ``exact-warm`` carries
     cross-call dual state a snapshot cannot capture.
+
+    ``warm_from`` switches to *incremental* BP: messages are seeded from
+    a prior converged :class:`repro.incremental.WarmState` (keyed by L
+    edges, so it survives problem edits) and each iteration updates only
+    an *active set* of edges, expanded outward from the perturbation via
+    residual thresholds (``config.active_tol``) and falling back to full
+    sweeps past ``config.active_max_frac``.  When the seeding finds the
+    problem unchanged, the prior matching is returned bit-identically
+    without iterating.  Incompatible with ``tracer``, ``init_messages``,
+    checkpointing, and non-serial ``parallel``.
+
+    ``keep_state`` asks the run to attach its final message state to
+    ``result.solver_state`` so a :class:`repro.incremental.WarmState`
+    can be captured from it.
     """
     config = config or BPConfig()
     if (checkpoint_every > 0 or resume) and config.matcher == "exact-warm":
@@ -134,6 +169,30 @@ def belief_propagation_align(
             "a checkpoint does not capture"
         )
     bus = get_bus()
+    if warm_from is not None:
+        if tracer is not None or init_messages is not None:
+            raise ConfigurationError(
+                "warm_from is incompatible with tracer/init_messages"
+            )
+        if checkpoint_every > 0 or resume:
+            raise ConfigurationError(
+                "warm_from is incompatible with checkpointing; the warm "
+                "state already is the resume point"
+            )
+        if parallel is not None and parallel.backend != "serial":
+            raise ConfigurationError(
+                "incremental BP is serial; drop the parallel backend "
+                "(active-set iterations are too small to fan out)"
+            )
+        matching_backend = None if parallel is None \
+            else parallel.matching_backend
+        with bus.trace(
+            "bp.realign", matcher=config.matcher, n_iter=config.n_iter,
+            batch=config.batch, damping=config.damping,
+        ):
+            return _bp_warm_run(problem, config, bus, warm_from,
+                                matching_backend=matching_backend,
+                                keep_state=keep_state)
     matching_backend = None if parallel is None else parallel.matching_backend
     checkpointing = {
         "checkpoint_every": checkpoint_every,
@@ -154,9 +213,10 @@ def belief_propagation_align(
                 return _bp_run(problem, config, tracer, bus, pool,
                                init_messages,
                                matching_backend=matching_backend,
-                               **checkpointing)
+                               keep_state=keep_state, **checkpointing)
         return _bp_run(problem, config, tracer, bus, None, init_messages,
-                       matching_backend=matching_backend, **checkpointing)
+                       matching_backend=matching_backend,
+                       keep_state=keep_state, **checkpointing)
 
 
 def _bp_run(
@@ -172,6 +232,7 @@ def _bp_run(
     checkpoint_store: Any | None = None,
     checkpoint_key: str = "bp",
     resume: bool = False,
+    keep_state: bool = False,
 ) -> AlignmentResult:
     """The BP iteration body (Listing 2)."""
     matcher: Matcher = make_matcher(config.matcher, backend=matching_backend)
@@ -423,7 +484,298 @@ def _bp_run(
             tracer.end_iteration()
 
     flush_batch()
-    return _finalize(problem, tracker, history, config)
+    result = _finalize(problem, tracker, history, config)
+    if keep_state:
+        result.solver_state = {"y": y.copy(), "z": z.copy(),
+                               "sk": sk.copy()}
+    return result
+
+
+def _concat_ranges(
+    starts: np.ndarray, stops: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate ``[start, stop)`` index ranges into one array.
+
+    Returns ``(indices, lengths)``; empty ranges contribute nothing but
+    keep their slot in ``lengths`` (callers need per-range boundaries).
+    """
+    lens = (stops - starts).astype(np.int64)
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), lens
+    block_starts = np.concatenate([[0], np.cumsum(lens)[:-1]])
+    out = np.repeat(starts, lens) + (
+        np.arange(total, dtype=np.int64) - np.repeat(block_starts, lens)
+    )
+    return out, lens
+
+
+def _bp_warm_run(
+    problem: NetworkAlignmentProblem,
+    config: BPConfig,
+    bus,
+    warm: "WarmState",
+    *,
+    matching_backend: str | None = None,
+    keep_state: bool = False,
+) -> AlignmentResult:
+    """Incremental BP: seed from a warm state, iterate on an active set.
+
+    Messages transfer from ``warm`` by L-edge/square key
+    (:func:`repro.incremental.state.seed_from_warm`); each iteration then
+    recomputes Steps 1–5 only for the *active* edges, and the active set
+    expands outward along othermax groups and **S** adjacency from edges
+    whose damped update moved more than ``config.active_tol``.  When it
+    exceeds ``config.active_max_frac · m`` the iteration falls back to
+    the vectorized full sweep (the gather/scatter bookkeeping would cost
+    more than it saves); when it empties, the run stops early — the
+    remaining iterations are provably no-ops.
+    """
+    from repro.incremental.state import seed_from_warm
+
+    matcher: Matcher = make_matcher(config.matcher,
+                                    backend=matching_backend)
+    ell = problem.ell
+    s_mat = problem.squares
+    perm = problem.squares_transpose_perm
+    m = problem.n_edges_l
+    alpha, beta = problem.alpha, problem.beta
+    w_vec = problem.weights
+    rows_nz = s_mat.row_of_nonzero()
+    s_indptr, s_indices = s_mat.indptr, s_mat.indices
+    row_ptr, col_ptr, col_perm = ell.row_ptr, ell.col_ptr, ell.col_perm
+
+    seed = seed_from_warm(problem, warm, s_mat)
+
+    # Rebuild the prior matching on the new problem (mates whose L edge
+    # vanished are unmatched) — warm rounding starts from it, and the
+    # unchanged shortcut returns it outright.
+    mate_a = warm.mate_a.copy()
+    matched = np.flatnonzero(mate_a >= 0)
+    if len(matched):
+        eids = ell.lookup_edges(matched, mate_a[matched])
+        mate_a[matched[eids < 0]] = -1
+    prior = MatchingResult.from_mates(ell, mate_a)
+    x_prior = prior.indicator(m)
+    obj_p, wp_p, op_p = problem.objective_parts(x_prior)
+
+    def warm_params(iterations_run: int, full_sweeps: int) -> dict:
+        return {
+            "n_iter": config.n_iter,
+            "gamma": config.gamma,
+            "matcher": config.matcher,
+            "damping": config.damping,
+            "alpha": problem.alpha,
+            "beta": problem.beta,
+            "warm": True,
+            "active_tol": config.active_tol,
+            "active_max_frac": config.active_max_frac,
+            "round_every": config.round_every,
+            "iterations_run": iterations_run,
+            "full_sweeps": full_sweeps,
+            "carried_edges": seed.carried_edges,
+            "carried_squares": seed.carried_squares,
+        }
+
+    if seed.unchanged:
+        # Nothing moved: the converged messages are still a fixed point
+        # and the prior matching is returned bit-identically.
+        if bus.active:
+            bus.emit("active_set_size", iteration=0, active=0, total=m,
+                     full_sweep=False)
+        result = AlignmentResult(
+            matching=prior,
+            objective=obj_p,
+            weight_part=wp_p,
+            overlap_part=op_p,
+            best_upper_bound=float("inf"),
+            history=[],
+            method=f"bp-warm[{config.matcher}]",
+            params=warm_params(0, 0),
+        )
+        if keep_state:
+            result.solver_state = {"y": seed.y.copy(),
+                                   "z": seed.z.copy(),
+                                   "sk": seed.sk.copy()}
+        return result
+
+    y, z, sk = seed.y, seed.z, seed.sk
+    active = seed.active
+    nnz = s_mat.nnz
+    f_vals = np.empty(nnz)
+    f_mat = CSRMatrix(s_mat.shape, s_mat.indptr, s_mat.indices, f_vals,
+                      _checked=True)
+    f_vals = f_mat.data
+    # Establish F and d consistent with the seeded messages, once, so
+    # subset iterations can update both in place.
+    np.take(sk, perm, out=f_vals)
+    f_vals += beta
+    np.clip(f_vals, 0.0, beta, out=f_vals)
+    d_vec = np.empty(m)
+    row_sums(f_mat, out=d_vec)
+    d_vec += alpha * w_vec
+    omax_row = np.empty(m)
+    omax_col = np.empty(m)
+    scratch = np.empty(m)
+
+    tracker = BestTracker()
+    history: list[IterationRecord] = []
+    workspace = RoundingWorkspace.for_problem(problem, matcher=matcher)
+    tracker.offer(obj_p, wp_p, op_p, prior, x_prior, "warm", 0)
+    history.append(IterationRecord(
+        iteration=0, objective=obj_p, weight_part=wp_p,
+        overlap_part=op_p, upper_bound=float("nan"), source="warm",
+        gamma=config.gamma,
+    ))
+
+    def do_round(k: int) -> None:
+        """Round the current y and z iterates (serial, immediate)."""
+        obj_y, wp_y, op_y, _ = round_heuristic(
+            problem, y, matcher=matcher, tracker=tracker,
+            source="y", iteration=k, workspace=workspace,
+        )
+        obj_z, wp_z, op_z, _ = round_heuristic(
+            problem, z, matcher=matcher, tracker=tracker,
+            source="z", iteration=k, workspace=workspace,
+        )
+        if obj_y >= obj_z:
+            obj, wp, op, src = obj_y, wp_y, op_y, "y"
+        else:
+            obj, wp, op, src = obj_z, wp_z, op_z, "z"
+        history.append(IterationRecord(
+            iteration=k, objective=obj, weight_part=wp, overlap_part=op,
+            upper_bound=float("nan"), source=src, gamma=config.gamma,
+        ))
+        if bus.active:
+            bus.emit(
+                "iteration", method="bp-warm", iteration=k,
+                objective=obj, weight_part=wp, overlap_part=op,
+                upper_bound=float("nan"), source=src, gamma=config.gamma,
+            )
+            bus.metrics.counter(
+                "repro_solver_iterations_total", method="bp-warm"
+            ).inc()
+            bus.metrics.gauge(
+                "repro_best_objective", method="bp-warm"
+            ).set(tracker.best_objective)
+
+    def frontier(hot: np.ndarray) -> np.ndarray:
+        """Edges whose next update can differ because ``hot`` moved."""
+        if not len(hot):
+            return np.empty(0, dtype=np.int64)
+        groups_a = np.unique(ell.edge_a[hot])
+        groups_b = np.unique(ell.edge_b[hot])
+        e_rows, _ = _concat_ranges(row_ptr[groups_a],
+                                   row_ptr[groups_a + 1])
+        pos_cols, _ = _concat_ranges(col_ptr[groups_b],
+                                     col_ptr[groups_b + 1])
+        s_pos, _ = _concat_ranges(s_indptr[hot], s_indptr[hot + 1])
+        return np.unique(np.concatenate(
+            [hot, e_rows, col_perm[pos_cols], s_indices[s_pos]]
+        ))
+
+    full_sweeps = 0
+    iterations_run = 0
+    last_rounded = 0
+    for k in range(1, config.n_iter + 1):
+        if len(active) == 0:
+            break  # converged: every remaining update is a no-op
+        maybe_inject("solver.iteration", task_index=k)
+        full = len(active) > config.active_max_frac * m
+        if config.damping == "power":
+            gamma_k = config.gamma ** k
+        elif config.damping == "fixed":
+            gamma_k = config.gamma
+        else:
+            gamma_k = 1.0
+        if bus.active:
+            bus.emit("active_set_size", iteration=k, active=len(active),
+                     total=m, full_sweep=full)
+            bus.metrics.histogram("repro_active_set_fraction").observe(
+                len(active) / max(m, 1)
+            )
+        if full:
+            full_sweeps += 1
+            np.take(sk, perm, out=f_vals)
+            f_vals += beta
+            np.clip(f_vals, 0.0, beta, out=f_vals)
+            row_sums(f_mat, out=d_vec)
+            d_vec += alpha * w_vec
+            othermax_col(ell, z, out=omax_col, scratch=scratch)
+            othermax_row(ell, y, out=omax_row)
+            y_upd = d_vec - omax_col
+            z_upd = d_vec - omax_row
+            sk_upd = np.take(y_upd + z_upd - d_vec, rows_nz) - f_vals
+            y_next = gamma_k * y_upd + (1.0 - gamma_k) * y
+            z_next = gamma_k * z_upd + (1.0 - gamma_k) * z
+            resid = np.maximum(np.abs(y_next - y), np.abs(z_next - z))
+            hot = np.flatnonzero(resid > config.active_tol)
+            y, z = y_next, z_next
+            sk *= (1.0 - gamma_k)
+            sk += gamma_k * sk_upd
+        else:
+            # ---- Steps 1+2 on the active rows of S ------------------
+            s_pos, row_lens = _concat_ranges(s_indptr[active],
+                                             s_indptr[active + 1])
+            if len(s_pos):
+                f_sub = sk[perm[s_pos]]
+                f_sub += beta
+                np.clip(f_sub, 0.0, beta, out=f_sub)
+                f_vals[s_pos] = f_sub
+            rs = np.zeros(len(active))
+            nz_rows = row_lens > 0
+            if len(s_pos):
+                seg_starts = np.concatenate(
+                    [[0], np.cumsum(row_lens)[:-1]]
+                )
+                rs[nz_rows] = np.add.reduceat(
+                    f_vals[s_pos], seg_starts[nz_rows]
+                )
+            d_vec[active] = alpha * w_vec[active] + rs
+            # ---- Step 3: othermax over the touched groups -----------
+            groups_a = np.unique(ell.edge_a[active])
+            e_rows, glens_a = _concat_ranges(row_ptr[groups_a],
+                                             row_ptr[groups_a + 1])
+            ptr_a = np.concatenate([[0], np.cumsum(glens_a)])
+            scratch[e_rows] = othermax_grouped(y[e_rows], ptr_a)
+            om_row_act = scratch[active].copy()
+            groups_b = np.unique(ell.edge_b[active])
+            pos_cols, glens_b = _concat_ranges(col_ptr[groups_b],
+                                               col_ptr[groups_b + 1])
+            e_cols = col_perm[pos_cols]
+            ptr_b = np.concatenate([[0], np.cumsum(glens_b)])
+            scratch[e_cols] = othermax_grouped(z[e_cols], ptr_b)
+            om_col_act = scratch[active]
+            d_act = d_vec[active]
+            y_upd = d_act - om_col_act
+            z_upd = d_act - om_row_act
+            # ---- Step 4: S^(k) on the active rows -------------------
+            sk_upd = (np.repeat(y_upd + z_upd - d_act, row_lens)
+                      - f_vals[s_pos])
+            # ---- Step 5: damping, residuals, in-place commit --------
+            y_next = gamma_k * y_upd + (1.0 - gamma_k) * y[active]
+            z_next = gamma_k * z_upd + (1.0 - gamma_k) * z[active]
+            resid = np.maximum(np.abs(y_next - y[active]),
+                               np.abs(z_next - z[active]))
+            hot = active[resid > config.active_tol]
+            y[active] = y_next
+            z[active] = z_next
+            sk[s_pos] = gamma_k * sk_upd + (1.0 - gamma_k) * sk[s_pos]
+        iterations_run = k
+        if k % config.round_every == 0 or k == config.n_iter:
+            do_round(k)
+            last_rounded = k
+        active = frontier(hot)
+    if iterations_run > last_rounded:
+        do_round(iterations_run)
+
+    result = _finalize(problem, tracker, history, config)
+    result.method = f"bp-warm[{config.matcher}]"
+    result.params = warm_params(iterations_run, full_sweeps)
+    if keep_state:
+        result.solver_state = {"y": y.copy(), "z": z.copy(),
+                               "sk": sk.copy()}
+    return result
 
 
 def _finalize(

@@ -168,3 +168,15 @@ class NetworkAlignmentProblem:
         clone._squares = self._squares
         clone._strans = self._strans
         return clone
+
+    def apply_delta(self, delta):
+        """Apply a :class:`repro.incremental.ProblemDelta` edit script.
+
+        Returns ``(new_problem, report)`` where ``report`` is a
+        :class:`repro.incremental.DeltaReport`; the cached squares
+        matrix is maintained incrementally instead of being rebuilt
+        (see :func:`repro.incremental.apply_delta`).
+        """
+        from repro.incremental.delta import apply_delta
+
+        return apply_delta(self, delta)

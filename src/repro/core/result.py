@@ -97,6 +97,12 @@ class AlignmentResult:
     history: list[IterationRecord] = field(default_factory=list)
     method: str = ""
     params: dict[str, Any] = field(default_factory=dict)
+    #: Final message state (``{"y", "z", "sk"}``) captured when the run
+    #: was asked to keep it (``keep_state=True``); feeds warm
+    #: realignment (:mod:`repro.incremental`).  ``None`` otherwise.
+    solver_state: dict[str, np.ndarray] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def iterations(self) -> int:

@@ -23,48 +23,53 @@ from repro.sparse.bipartite import BipartiteGraph
 from repro.sparse.build import coo_to_csr
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["build_squares", "count_squares_bruteforce"]
+__all__ = ["build_squares", "count_squares_bruteforce", "squares_coo"]
 
 
-def build_squares(
+def squares_coo(
     a_graph: Graph,
     b_graph: Graph,
     ell: BipartiteGraph,
+    row_ids: np.ndarray | None = None,
     *,
     chunk_pairs: int = 1 << 22,
-) -> CSRMatrix:
-    """Build **S** for the alignment instance ``(A, B, L)``.
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expand the squares of a set of L edges to COO ``(rows, cols)``.
 
-    Parameters
-    ----------
-    a_graph, b_graph:
-        The two undirected input graphs.
-    ell:
-        The candidate-match graph L; rows/cols of **S** are its edges.
-    chunk_pairs:
-        Upper bound on the number of candidate ``(j, j')`` pairs expanded
-        at once (memory knob; the result is identical for any value).
+    For each L edge ``e`` in ``row_ids`` (all edges when ``None``), the
+    Cartesian product of its endpoints' adjacency lists is hash-joined
+    against L, yielding one ``(e, f)`` pair per square.  This is the
+    expansion :func:`build_squares` runs over all rows; the incremental
+    delta path (:mod:`repro.incremental`) runs it over just the dirty
+    rows of a perturbed problem.
     """
     if a_graph.n != ell.n_a or b_graph.n != ell.n_b:
         raise DimensionError(
             "L vertex sets do not match A and B "
             f"({ell.n_a}/{a_graph.n}, {ell.n_b}/{b_graph.n})"
         )
-    m = ell.n_edges
+    if row_ids is None:
+        row_ids = np.arange(ell.n_edges, dtype=np.int64)
+    else:
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+    n_rows = len(row_ids)
     deg_pairs = (
-        a_graph.degrees()[ell.edge_a] * b_graph.degrees()[ell.edge_b]
+        a_graph.degrees()[ell.edge_a[row_ids]]
+        * b_graph.degrees()[ell.edge_b[row_ids]]
     ).astype(np.int64)
 
     rows_out: list[np.ndarray] = []
     cols_out: list[np.ndarray] = []
     start = 0
-    while start < m:
+    while start < n_rows:
         stop = start
         pairs = 0
-        while stop < m and (pairs == 0 or pairs + deg_pairs[stop] <= chunk_pairs):
+        while stop < n_rows and (
+            pairs == 0 or pairs + deg_pairs[stop] <= chunk_pairs
+        ):
             pairs += int(deg_pairs[stop])
             stop += 1
-        e_ids = np.arange(start, stop, dtype=np.int64)
+        e_ids = row_ids[start:stop]
         counts = deg_pairs[start:stop]
         total = int(counts.sum())
         start = stop
@@ -87,11 +92,31 @@ def build_squares(
         cols_out.append(f[hit])
 
     if rows_out:
-        rows = np.concatenate(rows_out)
-        cols = np.concatenate(cols_out)
-    else:
-        rows = np.empty(0, dtype=np.int64)
-        cols = np.empty(0, dtype=np.int64)
+        return np.concatenate(rows_out), np.concatenate(cols_out)
+    return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+
+def build_squares(
+    a_graph: Graph,
+    b_graph: Graph,
+    ell: BipartiteGraph,
+    *,
+    chunk_pairs: int = 1 << 22,
+) -> CSRMatrix:
+    """Build **S** for the alignment instance ``(A, B, L)``.
+
+    Parameters
+    ----------
+    a_graph, b_graph:
+        The two undirected input graphs.
+    ell:
+        The candidate-match graph L; rows/cols of **S** are its edges.
+    chunk_pairs:
+        Upper bound on the number of candidate ``(j, j')`` pairs expanded
+        at once (memory knob; the result is identical for any value).
+    """
+    m = ell.n_edges
+    rows, cols = squares_coo(a_graph, b_graph, ell, chunk_pairs=chunk_pairs)
     # Each (e, f) pair is produced at most once, so "error" dedup doubles
     # as a structural sanity check.
     return coo_to_csr(rows, cols, 1.0, (m, m), dedup="error")

@@ -1,4 +1,12 @@
-"""Graph perturbations used when deriving A and B from a common G (§VI-A)."""
+"""Graph perturbations used when deriving A and B from a common G (§VI-A).
+
+Beyond the paper's static A/B derivation, this module is the shared
+perturbation path for the *incremental* scenario: :func:`perturb_weights`
+jitters a seeded fraction of L's similarity scores, and
+:func:`edit_script` samples a full reusable
+:class:`~repro.incremental.ProblemDelta` (L and graph edge churn plus
+weight drift) so benchmarks and tests perturb problems identically.
+"""
 
 from __future__ import annotations
 
@@ -7,8 +15,15 @@ import numpy as np
 from repro._util import as_rng
 from repro.errors import ConfigurationError
 from repro.graph.graph import Graph
+from repro.sparse.bipartite import BipartiteGraph
 
-__all__ = ["add_random_edges", "relabel", "drop_random_edges"]
+__all__ = [
+    "add_random_edges",
+    "drop_random_edges",
+    "edit_script",
+    "perturb_weights",
+    "relabel",
+]
 
 
 def add_random_edges(
@@ -81,3 +96,138 @@ def relabel(
     if sorted(perm.tolist()) != list(range(graph.n)):
         raise ConfigurationError("not a permutation of the vertex set")
     return Graph.from_edges(graph.n, perm[graph.edge_u], perm[graph.edge_v])
+
+
+def perturb_weights(
+    ell: BipartiteGraph,
+    p: float,
+    *,
+    scale: float = 0.5,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Return L's weight vector with a seeded fraction ``p`` jittered.
+
+    Each edge is selected independently with probability ``p``; selected
+    weights get a multiplicative jitter ``w · (1 + scale · U(-1, 1))``
+    clipped at 0 (the problem validator rejects negative similarities).
+    Unselected weights are returned verbatim, so diffing the result
+    against ``ell.weights`` recovers exactly the perturbed set —
+    :func:`edit_script` relies on that.
+    """
+    if not (0.0 <= p <= 1.0):
+        raise ConfigurationError("p must be a probability")
+    if scale < 0:
+        raise ConfigurationError("scale must be >= 0")
+    rng = as_rng(seed)
+    w = ell.weights.copy()
+    picked = np.flatnonzero(rng.random(ell.n_edges) < p)
+    if len(picked):
+        jitter = 1.0 + scale * rng.uniform(-1.0, 1.0, size=len(picked))
+        w[picked] = np.maximum(w[picked] * jitter, 0.0)
+    return w
+
+
+def edit_script(
+    problem,
+    *,
+    l_edge_rate: float = 0.0,
+    weight_rate: float = 0.0,
+    graph_edge_rate: float = 0.0,
+    weight_scale: float = 0.5,
+    seed: int | np.random.Generator | None = None,
+):
+    """Sample a reusable :class:`~repro.incremental.ProblemDelta`.
+
+    One seeded perturbation path shared by the incremental benchmarks
+    and the property tests: applying the returned delta to ``problem``
+    simulates graph drift at the given rates.
+
+    Args:
+        problem: The :class:`~repro.core.problem.NetworkAlignmentProblem`
+            to perturb (only read, never modified).
+        l_edge_rate: Fraction of L edges churned — half the rate drops
+            existing edges, and the same expected count of fresh ``(a,
+            b)`` pairs (at the mean surviving weight) is inserted.
+        weight_rate: Fraction of surviving L edges whose weight is
+            jittered via :func:`perturb_weights`.
+        graph_edge_rate: Edge churn rate applied to A and B alike (half
+            drops, matched-count inserts).
+        weight_scale: Jitter magnitude passed to :func:`perturb_weights`.
+        seed: Seed or generator; the script is a pure function of it.
+
+    Returns:
+        A validated, immediately applicable
+        :class:`~repro.incremental.ProblemDelta`.
+    """
+    from repro.incremental.delta import ProblemDelta
+
+    for name, rate in (("l_edge_rate", l_edge_rate),
+                       ("weight_rate", weight_rate),
+                       ("graph_edge_rate", graph_edge_rate)):
+        if not (0.0 <= rate <= 1.0):
+            raise ConfigurationError(f"{name} must be a probability")
+    rng = as_rng(seed)
+    ell = problem.ell
+    m = ell.n_edges
+
+    drop_mask = rng.random(m) < l_edge_rate / 2.0
+    drop_ids = np.flatnonzero(drop_mask)
+    l_drop = np.stack([ell.edge_a[drop_ids], ell.edge_b[drop_ids]], axis=1)
+
+    # Matched-count inserts: sample fresh (a, b) pairs not in L (and not
+    # just dropped), at the mean surviving weight.
+    n_add = int(drop_mask.sum()) if m else 0
+    survivors = ~drop_mask
+    mean_w = float(ell.weights[survivors].mean()) if survivors.any() else 1.0
+    add_pairs: list[tuple[int, int]] = []
+    taken = set(zip(ell.edge_a.tolist(), ell.edge_b.tolist()))
+    attempts = 0
+    while len(add_pairs) < n_add and attempts < 50 * max(n_add, 1):
+        attempts += 1
+        pair = (int(rng.integers(0, ell.n_a)), int(rng.integers(0, ell.n_b)))
+        if pair not in taken:
+            taken.add(pair)
+            add_pairs.append(pair)
+    l_add = [(a, b, mean_w) for a, b in add_pairs]
+
+    # Weight drift on survivors, via the shared jitter helper.
+    w_new = perturb_weights(ell, weight_rate, scale=weight_scale, seed=rng)
+    rw_ids = np.flatnonzero((w_new != ell.weights) & survivors)
+    l_reweight = [
+        (int(ell.edge_a[e]), int(ell.edge_b[e]), float(w_new[e]))
+        for e in rw_ids
+    ]
+
+    def graph_churn(graph: Graph):
+        gdrop_mask = rng.random(graph.m) < graph_edge_rate / 2.0
+        gdrop = [
+            (int(graph.edge_u[e]), int(graph.edge_v[e]))
+            for e in np.flatnonzero(gdrop_mask)
+        ]
+        gadd: list[tuple[int, int]] = []
+        # Inserts must avoid every *original* edge (re-adding a dropped
+        # edge in the same delta is rejected as a conflicting edit).
+        present = set(zip(graph.edge_u.tolist(), graph.edge_v.tolist()))
+        tries = 0
+        while len(gadd) < len(gdrop) and tries < 50 * max(len(gdrop), 1):
+            tries += 1
+            u, v = rng.integers(0, graph.n, size=2).tolist()
+            if u == v:
+                continue
+            pair = (min(u, v), max(u, v))
+            if pair not in present:
+                present.add(pair)
+                gadd.append(pair)
+        return gadd, gdrop
+
+    a_add, a_drop = graph_churn(problem.a_graph)
+    b_add, b_drop = graph_churn(problem.b_graph)
+    return ProblemDelta.build(
+        l_add=l_add,
+        l_drop=l_drop.tolist(),
+        l_reweight=l_reweight,
+        a_add=a_add,
+        a_drop=a_drop,
+        b_add=b_add,
+        b_drop=b_drop,
+    )

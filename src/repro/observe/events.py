@@ -52,6 +52,14 @@ Event types
 ``checkpoint``
     One saved :class:`repro.resilience.SolverCheckpoint`; emitted by
     ``resilience/checkpoint.py`` on behalf of BP and Klau.
+``delta_applied``
+    One applied :class:`repro.incremental.ProblemDelta` edit script,
+    with the edit volume and how much cached structure was recomputed;
+    emitted by ``incremental/delta.py``.
+``active_set_size``
+    One incremental-BP iteration's active-set restriction (how many of
+    the ``m`` L edges were updated, and whether the iteration fell back
+    to a full sweep); emitted by the warm path in ``core/bp.py``.
 
 >>> validate_event("iteration", {
 ...     "method": "bp", "iteration": 1, "objective": 2.0,
@@ -99,6 +107,12 @@ EVENT_TYPES: dict[str, tuple[str, ...]] = {
     ),
     "backend_degraded": ("site", "from_backend", "to_backend", "reason"),
     "checkpoint": ("method", "iteration", "key"),
+    "delta_applied": (
+        "structural", "l_added", "l_dropped", "l_reweighted",
+        "graph_edited", "touched_edges", "rows_recomputed",
+        "n_edges_old", "n_edges_new",
+    ),
+    "active_set_size": ("iteration", "active", "total", "full_sweep"),
 }
 
 

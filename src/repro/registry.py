@@ -69,6 +69,10 @@ class SolverSpec:
     #: ``resume``) and can warm-resume from a
     #: :class:`repro.resilience.SolverCheckpoint`.
     supports_checkpoint: bool = False
+    #: The solver accepts ``warm_from`` (a
+    #: :class:`repro.incremental.WarmState`) for incremental
+    #: realignment, and ``keep_state`` to capture one.
+    supports_warm: bool = False
 
 
 _REGISTRY: dict[str, SolverSpec] = {}
@@ -178,6 +182,8 @@ def align(
     checkpoint_store: Any | None = None,
     checkpoint_key: str = "",
     resume: bool = False,
+    warm_from: Any | None = None,
+    keep_state: bool = False,
 ) -> AlignmentResult:
     """Align ``problem`` with the named method.
 
@@ -201,6 +207,12 @@ def align(
         checkpoint_key: The store key; defaults to the method name.
         resume: Warm-resume from any snapshot already stored under
             ``checkpoint_key`` before iterating.
+        warm_from: A :class:`repro.incremental.WarmState` to realign
+            from incrementally (methods with ``supports_warm`` only);
+            see :mod:`repro.incremental`.
+        keep_state: Ask the solver to attach its final message state to
+            ``result.solver_state`` so a warm state can be captured
+            from the result (methods with ``supports_warm`` only).
 
     Returns:
         The method's :class:`~repro.core.result.AlignmentResult`.
@@ -239,12 +251,22 @@ def align(
         kwargs["checkpoint_store"] = checkpoint_store
         kwargs["checkpoint_key"] = checkpoint_key or spec.name
         kwargs["resume"] = resume
+    if warm_from is not None or keep_state:
+        if not spec.supports_warm:
+            raise ConfigurationError(
+                f"method {spec.name!r} does not support warm "
+                "realignment (warm_from/keep_state)"
+            )
+        if warm_from is not None:
+            kwargs["warm_from"] = warm_from
+        if keep_state:
+            kwargs["keep_state"] = keep_state
     return spec.solve(problem, cfg, **kwargs)
 
 
-def _bp_solve(problem, config, tracer=None, parallel=None, **checkpointing):
+def _bp_solve(problem, config, tracer=None, parallel=None, **extra):
     return belief_propagation_align(
-        problem, config, tracer, parallel=parallel, **checkpointing
+        problem, config, tracer, parallel=parallel, **extra
     )
 
 
@@ -268,6 +290,7 @@ register_solver(
         supports_parallel=True,
         supports_trace=True,
         supports_checkpoint=True,
+        supports_warm=True,
     )
 )
 register_solver(

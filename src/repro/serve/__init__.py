@@ -4,8 +4,9 @@ The layer that turns the library into a service: an asyncio HTTP API
 (stdlib only — no frameworks) exposing submit/status/result/cancel over
 the :func:`repro.align` facade, with a content-addressed result cache,
 admission control and per-tenant quotas, NDJSON progress streaming off
-the observe bus, and supervised execution with checkpoint-backed resume
-on worker loss.
+the observe bus, supervised execution with checkpoint-backed resume on
+worker loss, and incremental realignment (``warm_from`` submissions
+seeded from a bounded LRU of converged solver states).
 
 The API contract lives in ``docs/serving.md`` (normative; its examples
 are executed by the docs-consistency tests).  Quick start::
@@ -26,7 +27,13 @@ end), :mod:`~repro.serve.config` (:class:`ServeConfig`).
 
 from repro.serve.cache import ResultCache
 from repro.serve.config import ServeConfig
-from repro.serve.jobs import JOB_STATES, TERMINAL_STATES, Job, JobStore
+from repro.serve.jobs import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    Job,
+    JobStore,
+    WarmUnavailableError,
+)
 from repro.serve.quotas import AdmissionError, TenantQuotas
 from repro.serve.server import AlignmentServer, serve_in_thread
 from repro.serve.wire import (
@@ -48,6 +55,7 @@ __all__ = [
     "ServeConfig",
     "TERMINAL_STATES",
     "TenantQuotas",
+    "WarmUnavailableError",
     "cache_key",
     "error_envelope",
     "problem_digest",

@@ -37,6 +37,10 @@ class ServeConfig(ConfigBase):
             unbounded); breaches reject with ``quota_exceeded``.
         max_edges_l: Largest |E_L| accepted per submitted problem
             (``0`` = unbounded); breaches reject with ``too_large``.
+        warm_entries: Bound on the LRU store of per-job solver states
+            kept for incremental realignment (``POST /jobs`` with
+            ``warm_from``); ``0`` disables warm submissions entirely
+            (every ``warm_from`` rejects with ``warm_unavailable``).
         checkpoint_every: Snapshot solver iterate state every this many
             iterations while a job runs (``0`` = off).  With retries,
             a crashed attempt warm-resumes from its last snapshot.
@@ -55,6 +59,7 @@ class ServeConfig(ConfigBase):
     port: int = 8080
     workers: int = 2
     cache_entries: int = 128
+    warm_entries: int = 16
     max_queue: int = 64
     max_active_per_tenant: int = 8
     max_edges_l: int = 2_000_000
@@ -67,7 +72,7 @@ class ServeConfig(ConfigBase):
     def __post_init__(self) -> None:
         if self.port < 0 or self.port > 65535:
             raise ConfigurationError("port must be in [0, 65535]")
-        for name in ("workers", "cache_entries", "max_queue",
+        for name in ("workers", "cache_entries", "warm_entries", "max_queue",
                      "max_active_per_tenant", "max_edges_l",
                      "checkpoint_every", "max_retries"):
             if getattr(self, name) < 0:

@@ -26,6 +26,17 @@ Cancellation is cooperative: a *queued* job is removed before it ever
 starts; a *running* job cannot be preempted (the solvers have no abort
 hook), so it is marked, runs to completion, and its result is dropped
 and never cached.
+
+Jobs can also realign **incrementally**: a submission carrying
+``warm_from: "<job_id>"`` re-solves its (perturbed) problem starting
+from the named job's converged solver state
+(:class:`~repro.incremental.WarmState`), kept in a bounded LRU
+(:class:`_WarmStore`, ``ServeConfig.warm_entries``).  Warm results get
+their own cache lineage — the parent's cache key is folded into the
+child's — so a warm solve and a cold solve of the same problem never
+answer from each other's cache entry, and both the status document and
+the result payload carry ``warm_from`` / ``parent_digest`` so warm
+results stay distinguishable.
 """
 
 from __future__ import annotations
@@ -52,7 +63,13 @@ from repro.serve.wire import (
     result_to_wire,
 )
 
-__all__ = ["JOB_STATES", "TERMINAL_STATES", "Job", "JobStore"]
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "Job",
+    "JobStore",
+    "WarmUnavailableError",
+]
 
 #: Every state a job document can report, in lifecycle order.
 JOB_STATES = ("queued", "running", "cancelling", "done", "failed",
@@ -68,6 +85,59 @@ def _clean(value: Any) -> Any:
     return value
 
 
+class WarmUnavailableError(ValidationError):
+    """A ``warm_from`` submission names no usable warm state.
+
+    Raised when the referenced job is unknown, not ``done``, was a pure
+    cache hit (no solver ran, so no state was captured), its state has
+    been evicted from the warm LRU (or ``warm_entries=0`` disables the
+    store), the method does not support warm realignment, or the warm
+    state's vertex sets do not match the submitted problem.  The server
+    maps this to HTTP 400 with error code ``warm_unavailable``.
+    """
+
+
+class _WarmStore:
+    """A bounded LRU of per-job warm solver states, keyed by job id.
+
+    Every successfully *executed* (not cache-answered) job of a
+    warm-capable method deposits its converged
+    :class:`~repro.incremental.WarmState` here, so any recent job can be
+    the parent of an incremental realignment.  Eviction is
+    least-recently-used over both reads and writes; ``capacity=0``
+    disables the store.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._states: dict[str, tuple[Any, str]] = {}
+
+    def put(self, job_id: str, state: Any, key: str) -> None:
+        """Store ``(state, parent_cache_key)``, evicting the oldest."""
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            self._states.pop(job_id, None)
+            self._states[job_id] = (state, key)
+            while len(self._states) > self.capacity:
+                self._states.pop(next(iter(self._states)))
+
+    def get(self, job_id: str) -> tuple[Any, str] | None:
+        """Fetch ``(state, parent_cache_key)``; refreshes LRU order."""
+        with self._lock:
+            hit = self._states.pop(job_id, None)
+            if hit is not None:
+                self._states[job_id] = hit
+            return hit
+
+    def stats(self) -> dict[str, int]:
+        """Occupancy report for ``/healthz``."""
+        with self._lock:
+            return {"entries": len(self._states),
+                    "capacity": self.capacity}
+
+
 class Job:
     """One submitted alignment job and everything observed about it.
 
@@ -78,7 +148,9 @@ class Job:
 
     def __init__(self, job_id: str, tenant: str, method: str,
                  config: dict[str, Any], problem: Any, digest: str,
-                 key: str) -> None:
+                 key: str, warm_from: str | None = None,
+                 parent_digest: str | None = None,
+                 warm_state: Any | None = None) -> None:
         self.id = job_id
         self.tenant = tenant
         self.method = method
@@ -86,6 +158,9 @@ class Job:
         self.problem = problem
         self.digest = digest
         self.key = key
+        self.warm_from = warm_from
+        self.parent_digest = parent_digest
+        self.warm_state = warm_state
         self.state = "queued"
         self.cached = False
         self.cancel_requested = False
@@ -141,6 +216,8 @@ class Job:
                 "config": self.config,
                 "tenant": self.tenant,
                 "problem_digest": self.digest,
+                "warm_from": self.warm_from,
+                "parent_digest": self.parent_digest,
                 "cached": self.cached,
                 "created": self.created_s,
                 "started": self.started_s,
@@ -205,11 +282,17 @@ def _execute_job_task(task: tuple) -> Any:
     """Supervised task body: one alignment solve with checkpoint wiring.
 
     Args:
-        task: ``(problem, method, config, checkpoint_every, key)``.
-            With checkpointing on (and a method that supports it), the
-            solve snapshots under ``key`` in the process-default store
-            and ``resume=True`` warm-resumes from whatever an earlier
-            crashed attempt left there; a clean finish discards the key.
+        task: ``(problem, method, config, checkpoint_every, key,
+            warm_state, keep_state)``.  With checkpointing on (and a
+            method that supports it), the solve snapshots under ``key``
+            in the process-default store and ``resume=True``
+            warm-resumes from whatever an earlier crashed attempt left
+            there; a clean finish discards the key.  A ``warm_state``
+            (:class:`~repro.incremental.WarmState`) instead seeds the
+            solve incrementally via ``warm_from`` — the two resume
+            mechanisms are mutually exclusive, and warm wins.
+            ``keep_state`` asks the solver to attach its converged
+            messages so the job can itself become a warm parent.
 
     Returns:
         The :class:`~repro.core.result.AlignmentResult`.
@@ -218,11 +301,13 @@ def _execute_job_task(task: tuple) -> Any:
         Exception: Whatever the solver raises — the supervisor owns the
             retry decision.
     """
-    problem, method, config, ckpt_every, ckpt_key = task
+    problem, method, config, ckpt_every, ckpt_key, warm_state, keep = task
     from repro.registry import align, get_solver
 
     kwargs: dict[str, Any] = {}
-    if ckpt_every > 0 and get_solver(method).supports_checkpoint:
+    if warm_state is not None:
+        kwargs["warm_from"] = warm_state
+    elif ckpt_every > 0 and get_solver(method).supports_checkpoint:
         from repro.resilience import get_checkpoint_store
 
         kwargs = {
@@ -231,8 +316,10 @@ def _execute_job_task(task: tuple) -> Any:
             "checkpoint_key": ckpt_key,
             "resume": True,
         }
+    if keep:
+        kwargs["keep_state"] = True
     result = align(problem, method, config, **kwargs)
-    if kwargs:
+    if "checkpoint_every" in kwargs:
         from repro.resilience import get_checkpoint_store
 
         get_checkpoint_store().discard(ckpt_key)
@@ -256,6 +343,7 @@ class JobStore:
             config.cache_entries)
         self.quotas = TenantQuotas(config.max_queue,
                                    config.max_active_per_tenant)
+        self.warm = _WarmStore(config.warm_entries)
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._jobs: dict[str, Job] = {}
@@ -275,8 +363,9 @@ class JobStore:
 
         Args:
             doc: The decoded request body: ``method`` (default
-                ``"bp"``), optional ``config`` mapping, and the wire
-                ``problem``.
+                ``"bp"``), optional ``config`` mapping, the wire
+                ``problem``, and optional ``warm_from`` (a prior job id
+                whose converged solver state seeds this solve).
             tenant: The submitting tenant (``X-Tenant`` header).
 
         Returns:
@@ -285,6 +374,7 @@ class JobStore:
 
         Raises:
             ConfigurationError: Unknown method or bad config fields.
+            WarmUnavailableError: ``warm_from`` names no usable state.
             ValidationError: Malformed problem document.
             AdmissionError: Queue full, tenant over quota, or problem
                 over the ``max_edges_l`` size gate.
@@ -310,14 +400,26 @@ class JobStore:
             )
         digest = problem_digest(problem)
         key = cache_key(spec.name, digest, config)
+        warm_from, parent_digest, warm_state, parent_key = (
+            self._resolve_warm(doc.get("warm_from"), spec, problem)
+        )
+        if warm_from is not None:
+            # Fold the parent's cache key into the child's: a warm solve
+            # and a cold solve of the same problem are distinct results.
+            key = f"{key}|warm:{parent_key}"
         job_id = "j-" + secrets.token_hex(6)
-        job = Job(job_id, tenant, spec.name, config, problem, digest, key)
+        job = Job(job_id, tenant, spec.name, config, problem, digest, key,
+                  warm_from=warm_from, parent_digest=parent_digest,
+                  warm_state=warm_state)
 
         hit = self.cache.get(key)
         if hit is not None:
-            job.result = hit
+            job.result = dict(hit)
+            job.result["warm_from"] = warm_from
+            job.result["parent_digest"] = parent_digest
             job.cached = True
             job.problem = None  # the arrays are not needed again
+            job.warm_state = None
             self._finish(job, "done", release=False)
             with self._lock:
                 self._jobs[job_id] = job
@@ -330,6 +432,48 @@ class JobStore:
             self._queue.append(job_id)
             self._cond.notify()
         return job
+
+    def _resolve_warm(
+        self, warm_from: Any, spec: Any, problem: Any
+    ) -> tuple[str | None, str | None, Any | None, str | None]:
+        """Resolve a submission's ``warm_from`` member to a warm state.
+
+        Args:
+            warm_from: The raw ``warm_from`` member (``None`` = cold).
+            spec: The resolved :class:`~repro.registry.SolverSpec`.
+            problem: The submitted problem (vertex-set compatibility).
+
+        Returns:
+            ``(warm_from, parent_digest, warm_state, parent_key)`` —
+            all ``None`` for a cold submission.
+
+        Raises:
+            ValidationError: ``warm_from`` is not a string.
+            WarmUnavailableError: No usable state under that job id.
+        """
+        if warm_from is None:
+            return None, None, None, None
+        if not isinstance(warm_from, str):
+            raise ValidationError("'warm_from' must be a job-id string")
+        if not spec.supports_warm:
+            raise WarmUnavailableError(
+                f"method {spec.name!r} does not support warm realignment"
+            )
+        hit = self.warm.get(warm_from)
+        if hit is None:
+            raise WarmUnavailableError(
+                f"no warm state for job {warm_from!r} (unknown id, job "
+                "not done, answered from cache, or state evicted)"
+            )
+        state, parent_key = hit
+        n_a, n_b = problem.a_graph.n, problem.b_graph.n
+        if (state.n_a, state.n_b) != (n_a, n_b):
+            raise WarmUnavailableError(
+                f"warm state of job {warm_from!r} is over a "
+                f"{state.n_a}x{state.n_b} vertex set; the submitted "
+                f"problem is {n_a}x{n_b}"
+            )
+        return warm_from, state.digest, state, parent_key
 
     # -- lookup / cancel ----------------------------------------------
     def get(self, job_id: str) -> Job | None:
@@ -406,8 +550,13 @@ class JobStore:
             max_retries=self.config.max_retries,
         )
         parallel = ParallelConfig(backend="serial", resilience=resilience)
+        from repro.registry import get_solver
+
+        keep = (self.config.warm_entries > 0
+                and get_solver(job.method).supports_warm)
         task = (job.problem, job.method, job.config,
-                self.config.checkpoint_every, f"serve:{job.id}")
+                self.config.checkpoint_every, f"serve:{job.id}",
+                job.warm_state, keep)
         bus = get_bus()
         sink = _JobProgressSink(job, threading.get_ident())
         bus.add_sink(sink)
@@ -428,11 +577,22 @@ class JobStore:
             self._finish(job, "failed")
             return
         payload = result_to_wire(outcome.value)
+        payload["warm_from"] = job.warm_from
+        payload["parent_digest"] = job.parent_digest
         if job.cancel_requested:
             # The solve could not be preempted; honor the cancellation
             # by dropping (and never caching) its result.
             self._finish(job, "cancelled")
             return
+        if keep and outcome.value.solver_state is not None:
+            from repro.incremental import WarmState
+
+            self.warm.put(
+                job.id,
+                WarmState.from_result(job.problem, outcome.value,
+                                      digest=job.digest),
+                job.key,
+            )
         job.result = payload
         self.cache.put(job.key, payload)
         self._finish(job, "done")
@@ -445,6 +605,7 @@ class JobStore:
             job.state = state
             job.finished_s = time.time()
             job.problem = None  # free the arrays; the wire result remains
+            job.warm_state = None
             job._terminal.set()
         job.add_frame({"type": "state", "state": state})
         if release:

@@ -30,7 +30,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import ConfigurationError, ValidationError
 from repro.serve.config import ServeConfig
-from repro.serve.jobs import Job, JobStore
+from repro.serve.jobs import Job, JobStore, WarmUnavailableError
 from repro.serve.quotas import AdmissionError
 from repro.serve.wire import error_envelope
 
@@ -265,6 +265,8 @@ class AlignmentServer:
         except AdmissionError as exc:
             status = 413 if exc.code == "too_large" else 429
             raise _HttpError(status, exc.code, str(exc)) from None
+        except WarmUnavailableError as exc:
+            raise _HttpError(400, "warm_unavailable", str(exc)) from None
         except (ConfigurationError, ValidationError) as exc:
             raise _HttpError(400, "bad_request", str(exc)) from None
         wait = query.get("wait", ["0"])[0] not in ("0", "", "false")

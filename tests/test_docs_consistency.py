@@ -154,8 +154,9 @@ _BLOCK_RE = re.compile(r"```(request|response|python)\n(.*?)```", re.DOTALL)
 
 #: Every error-envelope code the server can emit (docs must list all).
 SERVE_ERROR_CODES = (
-    "bad_request", "not_found", "method_not_allowed", "conflict", "gone",
-    "too_large", "quota_exceeded", "queue_full", "timeout", "internal",
+    "bad_request", "warm_unavailable", "not_found", "method_not_allowed",
+    "conflict", "gone", "too_large", "quota_exceeded", "queue_full",
+    "timeout", "internal",
 )
 
 #: Every route the server exposes (docs must show each one).
@@ -323,6 +324,52 @@ class TestServingDoc:
         text = SERVING.read_text(encoding="utf-8")
         for frame_type in ("state", "iteration", "checkpoint", "retry"):
             assert f"`{frame_type}`" in text
+
+
+# --------------------------------------------------------------------
+# docs/incremental.md: execute the documented realignment walkthrough
+# --------------------------------------------------------------------
+
+INCREMENTAL = REPO / "docs" / "incremental.md"
+
+
+class TestIncrementalDoc:
+    def test_python_blocks_execute_in_order(self):
+        """Run every ``python`` block of incremental.md in one shared
+        namespace, in document order — the page is a living example."""
+        text = INCREMENTAL.read_text(encoding="utf-8")
+        blocks = [body for kind, body in _BLOCK_RE.findall(text)
+                  if kind == "python"]
+        assert blocks, "docs/incremental.md has no python blocks"
+        namespace: dict = {}
+        for i, body in enumerate(blocks):
+            code = compile(body, f"{INCREMENTAL} (block {i})", "exec")
+            exec(code, namespace)  # noqa: S102
+
+    def test_knobs_table_matches_bpconfig(self):
+        """Every knob the doc teaches must exist on BPConfig (and every
+        warm-only BPConfig field must be taught)."""
+        from repro.core.bp import BPConfig
+
+        text = INCREMENTAL.read_text(encoding="utf-8")
+        cfg = BPConfig()
+        for name in ("active_tol", "active_max_frac", "round_every"):
+            assert hasattr(cfg, name)
+            assert f"`{name}`" in text, (
+                f"docs/incremental.md does not document BPConfig.{name}"
+            )
+
+    def test_cli_flags_match_doc(self):
+        """The realign flags the doc teaches must exist on the parser."""
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["realign", "dir", "--delta", "d.json", "--state", "s.npz",
+             "--save-state", "s2.npz", "--output", "pairs.tsv"]
+        )
+        assert args.delta == "d.json"
+        assert args.state == "s.npz"
+        assert args.save_state == "s2.npz"
 
 
 class TestDocsIndex:

@@ -99,7 +99,7 @@ class TestSchema:
 
     def test_schema_is_closed_and_documented_fields(self):
         # Every type has at least one required field; names are unique.
-        assert len(EVENT_TYPES) == 13
+        assert len(EVENT_TYPES) == 15
         for fields in EVENT_TYPES.values():
             assert fields
 

@@ -268,6 +268,8 @@ class TestHttpApi:
                                   f"/jobs/{job['id']}/result")
         assert status == 200
         assert served.pop("cached") is False
+        assert served.pop("warm_from") is None
+        assert served.pop("parent_digest") is None
         local = result_to_wire(align(instance.problem, "bp", CONFIG))
         assert served == local
 
@@ -453,6 +455,7 @@ class TestCheckpointedResume:
             _, served = _request(srv.base_url, "GET",
                                  f"/jobs/{job['id']}/result")
             served.pop("cached")
+            served.pop("warm_from"), served.pop("parent_digest")
             assert served == baseline  # bit-identical to uninterrupted
 
             frames = _stream_frames(srv.base_url, job["id"])
