@@ -1,7 +1,8 @@
 #!/usr/bin/env python
-"""Bench-regression guard: compare a fresh bench run to its baseline.
+"""Bench-regression guard: pairwise baseline check + trajectory tracker.
 
-Usage (from the repo root)::
+Pairwise mode (the original): compare a fresh bench run to its
+committed baseline file::
 
     python benchmarks/check_bench_regression.py BENCH_7.json fresh.json
         [--tolerance 0.25] [--absolute] [--min-median-s 0.01]
@@ -22,8 +23,30 @@ are skipped in ratio mode: a speedup whose denominator is a few
 milliseconds (e.g. the rate-0 warm shortcut) is dominated by timer
 noise, not by the code under test.
 
+Trajectory mode: sweep *every* ``BENCH_*.json`` in a directory and
+check each recorded ratio extra against the committed baselines file
+(``benchmarks/bench_baselines.json``)::
+
+    python benchmarks/check_bench_regression.py --trajectory .
+        [--baselines benchmarks/bench_baselines.json] [--tolerance 0.25]
+    python benchmarks/check_bench_regression.py --trajectory . \
+        --write-baselines   # re-record after an intentional change
+
+The baselines file stores raw observed values; the check derives limits
+at run time, so the tolerance stays adjustable without regenerating:
+
+* ``speedup*`` extras (higher is better) must not drop below
+  ``recorded * (1 - tolerance)``;
+* ``overhead*`` extras (lower is better) must stay below
+  ``max(recorded * (1 + tolerance), 0.02)`` — the 2% absolute ceiling
+  keeps the telemetry-overhead acceptance bound enforced even when the
+  recorded value sits in the noise (or below zero);
+* a baselined row that disappears from its bench file fails (a silently
+  dropped benchmark is itself a regression); a new ratio extra with no
+  baseline is reported so ``--write-baselines`` can pick it up.
+
 Exit status: 0 when no comparison regressed, 1 otherwise (each
-regression is printed).  Any ``warnings`` recorded in the fresh file
+regression is printed).  Any ``warnings`` recorded in the checked files
 (e.g. ``cpu_count < workers``) are echoed so a failing run can be
 triaged without opening the JSON.
 """
@@ -35,6 +58,10 @@ import json
 import sys
 from pathlib import Path
 
+#: Absolute ceiling applied to every ``overhead*`` extra in trajectory
+#: mode (the telemetry-overhead acceptance bound).
+OVERHEAD_CEILING = 0.02
+
 
 def load_rows(path: Path) -> tuple[dict[tuple[str, str], dict], dict]:
     """Index a bench file's rows by ``(group, name)``; also the doc."""
@@ -45,11 +72,123 @@ def load_rows(path: Path) -> tuple[dict[tuple[str, str], dict], dict]:
     return rows, doc
 
 
+def _ratio_extras(row: dict) -> dict[str, float]:
+    """The machine-portable ratio extras of one row (speedup/overhead)."""
+    out = {}
+    for key, value in row.get("extra", {}).items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        if key.startswith("speedup") or key.startswith("overhead"):
+            out[key] = float(value)
+    return out
+
+
+def collect_trajectory(
+    directory: Path,
+) -> tuple[list[Path], dict[str, dict[str, float]]]:
+    """Sweep ``BENCH_*.json`` under ``directory`` for ratio extras.
+
+    Returns the files read (sorted) and a mapping of ``group/name``
+    labels to their ratio extras; file-level ``warnings`` are echoed.
+    """
+    files = sorted(directory.glob("BENCH_*.json"))
+    entries: dict[str, dict[str, float]] = {}
+    for path in files:
+        rows, doc = load_rows(path)
+        for warning in doc.get("warnings", []):
+            print(f"note: {path.name} warns: {warning}")
+        for (group, name), row in sorted(rows.items()):
+            ratios = _ratio_extras(row)
+            if ratios:
+                entries.setdefault(f"{group}/{name}", {}).update(ratios)
+    return files, entries
+
+
+def run_trajectory(args: argparse.Namespace) -> int:
+    """Trajectory mode: every BENCH file vs the recorded baselines."""
+    directory = Path(args.trajectory)
+    files, entries = collect_trajectory(directory)
+    if not files:
+        print(f"error: no BENCH_*.json under {directory}", file=sys.stderr)
+        return 1
+    print(f"trajectory: {len(files)} bench file(s): "
+          + ", ".join(p.name for p in files))
+
+    if args.write_baselines:
+        doc = {"schema": 1, "metrics": {
+            label: dict(sorted(extras.items()))
+            for label, extras in sorted(entries.items())
+        }}
+        args.baselines.write_text(json.dumps(doc, indent=2) + "\n")
+        n = sum(len(v) for v in entries.values())
+        print(f"wrote {args.baselines} ({n} baselined ratio(s) across "
+              f"{len(entries)} row(s))")
+        return 0
+
+    try:
+        recorded = json.loads(args.baselines.read_text())["metrics"]
+    except FileNotFoundError:
+        print(f"error: no baselines file at {args.baselines}; run with "
+              f"--write-baselines first", file=sys.stderr)
+        return 1
+
+    regressions = []
+    compared = 0
+    for label, extras in sorted(recorded.items()):
+        current = entries.get(label)
+        if current is None:
+            regressions.append(
+                f"{label}: baselined row no longer present in any "
+                f"BENCH_*.json"
+            )
+            continue
+        for key, value in sorted(extras.items()):
+            got = current.get(key)
+            if got is None:
+                regressions.append(f"{label}: extra {key} disappeared")
+                continue
+            compared += 1
+            if key.startswith("speedup"):
+                floor = value * (1.0 - args.tolerance)
+                if got < floor:
+                    regressions.append(
+                        f"{label}: {key} {got:.2f} < recorded "
+                        f"{value:.2f} -{args.tolerance:.0%} "
+                        f"(floor {floor:.2f})"
+                    )
+            else:
+                ceiling = max(value * (1.0 + args.tolerance),
+                              OVERHEAD_CEILING)
+                if got > ceiling:
+                    regressions.append(
+                        f"{label}: {key} {got:+.4f} > ceiling "
+                        f"{ceiling:+.4f} (recorded {value:+.4f})"
+                    )
+    for label, extras in sorted(entries.items()):
+        for key in sorted(extras):
+            if key not in recorded.get(label, {}):
+                print(f"note: {label}: {key} has no baseline yet "
+                      f"(run --write-baselines to record it)")
+
+    if regressions:
+        print(f"FAIL: {len(regressions)} trajectory regression(s):")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    if not compared:
+        print("error: baselines file matched no recorded ratios",
+              file=sys.stderr)
+        return 1
+    print(f"OK: {compared} trajectory ratio(s) across {len(files)} "
+          f"bench file(s), none beyond the recorded baselines")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("baseline", type=Path,
+    ap.add_argument("baseline", type=Path, nargs="?",
                     help="the committed bench JSON (e.g. BENCH_7.json)")
-    ap.add_argument("fresh", type=Path,
+    ap.add_argument("fresh", type=Path, nargs="?",
                     help="the freshly generated bench JSON to check")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed fractional regression (default 0.25)")
@@ -57,7 +196,23 @@ def main(argv: list[str] | None = None) -> int:
                     help="compare median_s instead of speedup ratios")
     ap.add_argument("--min-median-s", type=float, default=0.01,
                     help="skip ratio rows timed below this (noise floor)")
+    ap.add_argument("--trajectory", default=None, metavar="DIR",
+                    help="check every BENCH_*.json in DIR against the "
+                         "recorded baselines instead of pairwise files")
+    ap.add_argument("--baselines", type=Path,
+                    default=Path(__file__).resolve().parent
+                    / "bench_baselines.json",
+                    help="the committed baselines file (trajectory mode)")
+    ap.add_argument("--write-baselines", action="store_true",
+                    help="re-record the baselines from the current "
+                         "BENCH_*.json files (trajectory mode)")
     args = ap.parse_args(argv)
+
+    if args.trajectory is not None:
+        return run_trajectory(args)
+    if args.baseline is None or args.fresh is None:
+        ap.error("pairwise mode needs both baseline and fresh files "
+                 "(or use --trajectory DIR)")
 
     base_rows, _ = load_rows(args.baseline)
     fresh_rows, fresh_doc = load_rows(args.fresh)

@@ -4,18 +4,19 @@
 (``BENCH_3.json``), the matching-kernel backend comparison
 (``BENCH_4.json``), the resilience/supervision overhead group
 (``BENCH_5.json``), the HTTP serving latency group (``BENCH_6.json``),
-and the incremental-realignment group (``BENCH_7.json``) at the repo
-root.
+the incremental-realignment group (``BENCH_7.json``), and the
+telemetry-exporter group (``BENCH_8.json``) at the repo root.
 
 Usage (from the repo root)::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--out BENCH_2.json]
         [--repeats 5] [--scale 0.01] [--skip-process]
         [--group all|kernels-backend|multilevel|matching|resilience|
-                 serve|incremental]
+                 serve|incremental|export]
         [--out3 BENCH_3.json] [--multilevel-n 50000]
         [--out4 BENCH_4.json] [--out5 BENCH_5.json]
-        [--out6 BENCH_6.json] [--out7 BENCH_7.json] [--smoke]
+        [--out6 BENCH_6.json] [--out7 BENCH_7.json]
+        [--out8 BENCH_8.json] [--smoke]
 
 The file captures *this machine's* numbers — machine info (platform,
 CPU count, library versions) rides along so readers can judge whether a
@@ -688,6 +689,129 @@ def incremental_benchmarks(
     return rows, instance
 
 
+def export_benchmarks(repeats: int, smoke: bool) -> tuple[list[dict], dict]:
+    """Exporter render latency and serve-telemetry overhead
+    (``BENCH_8.json``).
+
+    Two render rows time :func:`repro.observe.prometheus_text` and
+    :func:`repro.observe.otlp_json` over a registry populated to a busy
+    server's shape.  Two submit rows time a batch of *cached* HTTP
+    submissions against servers with telemetry off and on — the cached
+    path maximizes the relative cost of per-request metric recording,
+    so ``overhead_frac`` on the telemetry-on row is a worst-case bound
+    (the acceptance target is < 2%).  The last row scrapes
+    ``GET /v1/metrics`` on the live telemetry-on server.
+    """
+    import http.client
+
+    from repro.generators import powerlaw_alignment_instance
+    from repro.observe import MetricsRegistry, otlp_json, prometheus_text
+    from repro.serve import ServeConfig, problem_to_wire, serve_in_thread
+
+    reps = max(3, repeats)
+    reg = MetricsRegistry()
+    n_series = 40 if smoke else 200
+    for i in range(n_series):
+        reg.counter("bench_requests_total", method="GET",
+                    route=f"/r{i % 8}", status=200, shard=i).inc(i + 1)
+        reg.gauge("bench_occupancy", shard=i % 16).set(float(i))
+    for r in range(8):
+        hist = reg.histogram("bench_latency_seconds", route=f"/r{r}")
+        for i in range(250):
+            hist.observe((i % 37) * 1e-3)
+    n_lines = len(prometheus_text(reg).splitlines())
+
+    rows = []
+    for name, fn in (("render_prometheus", lambda: prometheus_text(reg)),
+                     ("render_otlp", lambda: otlp_json(reg))):
+        samples = timeit(fn, reps)
+        rows.append({
+            "group": "export", "name": name, **summarize(samples),
+            "extra": {"n_series": n_series, "prom_lines": n_lines},
+        })
+        print(f"  export/{name}: "
+              f"{summarize(samples)['median_s'] * 1e3:.2f} ms "
+              f"({n_lines} exposition lines)")
+
+    def request(base_url: str, method: str, path: str,
+                body: dict | None = None) -> tuple[int, bytes]:
+        host, port = base_url.removeprefix("http://").rsplit(":", 1)
+        conn = http.client.HTTPConnection(host, int(port), timeout=600)
+        try:
+            payload = json.dumps(body).encode() if body else None
+            conn.request(method, path, body=payload,
+                         headers={"Content-Type": "application/json"}
+                         if body else {})
+            resp = conn.getresponse()
+            return resp.status, resp.read()
+        finally:
+            conn.close()
+
+    n = 100 if smoke else 300
+    inst = powerlaw_alignment_instance(
+        n=n, expected_degree=4.0, p_perturb=8.0 / n, seed=11,
+        name="export-bench",
+    )
+    body = {"method": "bp",
+            "config": {"n_iter": 4 if smoke else 10, "matcher": "approx"},
+            "problem": problem_to_wire(inst.problem)}
+    batch = 3 if smoke else 10
+    mode_samples: dict[str, list[float]] = {}
+    scrape_samples: list[float] = []
+    for mode in ("off", "on"):
+        config = ServeConfig(port=0, workers=2, wait_timeout_s=600.0,
+                             telemetry=(mode == "on"))
+        with serve_in_thread(config) as srv:
+            status, data = request(srv.base_url, "POST", "/v1/jobs?wait=1",
+                                   body)
+            doc = json.loads(data)
+            if status != 200 or doc.get("state") != "done":
+                raise AssertionError(
+                    f"export bench submission failed: {status} {doc}"
+                )
+
+            def cached_batch(base_url=srv.base_url):
+                for _ in range(batch):
+                    status, data = request(base_url, "POST",
+                                           "/v1/jobs?wait=1", body)
+                    assert status == 200 and json.loads(data)["cached"]
+
+            mode_samples[mode] = timeit(cached_batch, reps)
+            if mode == "on":
+                def scrape(base_url=srv.base_url):
+                    status, data = request(base_url, "GET", "/v1/metrics")
+                    assert status == 200 and b"# TYPE" in data
+
+                scrape_samples = timeit(scrape, reps)
+    off_median = summarize(mode_samples["off"])["median_s"]
+    on_median = summarize(mode_samples["on"])["median_s"]
+    overhead = on_median / off_median - 1.0
+    for mode in ("off", "on"):
+        extra = {"n": n, "batch": batch, "transport": "http"}
+        if mode == "on":
+            extra["overhead_frac"] = overhead
+        rows.append({
+            "group": "export", "name": f"submit_cached_telemetry_{mode}",
+            **summarize(mode_samples[mode]),
+            "extra": extra,
+        })
+    print(f"  export/telemetry overhead: {overhead * 100:+.2f}% "
+          f"(on {on_median:.4f} s vs off {off_median:.4f} s "
+          f"per {batch}-request batch)")
+    rows.append({
+        "group": "export", "name": "scrape_live",
+        **summarize(scrape_samples),
+        "extra": {"endpoint": "/v1/metrics", "transport": "http"},
+    })
+    print(f"  export/scrape_live: "
+          f"{summarize(scrape_samples)['median_s'] * 1e3:.2f} ms")
+    instance = {
+        "family": "powerlaw", "n": n, "batch": batch,
+        "n_series": n_series, "smoke": smoke,
+    }
+    return rows, instance
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--out", default=str(
@@ -701,7 +825,7 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--group", default="all",
                     choices=["all", "kernels-backend", "multilevel",
                              "matching", "resilience", "serve",
-                             "incremental"])
+                             "incremental", "export"])
     ap.add_argument("--multilevel-n", type=int, default=50_000,
                     help="synthetic size for the multilevel group")
     ap.add_argument("--multilevel-repeats", type=int, default=1,
@@ -714,6 +838,8 @@ def main(argv: list[str] | None = None) -> int:
         Path(__file__).resolve().parent.parent / "BENCH_6.json"))
     ap.add_argument("--out7", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_7.json"))
+    ap.add_argument("--out8", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_8.json"))
     ap.add_argument("--smoke", action="store_true",
                     help="shrink the matching group to a CI-size shape "
                          "check (numbers are not performance claims)")
@@ -813,6 +939,22 @@ def main(argv: list[str] | None = None) -> int:
         }
         Path(args.out7).write_text(json.dumps(doc7, indent=2) + "\n")
         print(f"wrote {args.out7} ({len(rows7)} benchmarks)")
+
+    if args.group in ("all", "export"):
+        print(f"running exporter benchmarks (smoke={args.smoke}) ...")
+        rows8, instance8 = export_benchmarks(args.repeats, args.smoke)
+        doc8 = {
+            "schema": 1,
+            "generated_by": "benchmarks/run_bench.py --group export",
+            "instance": instance8,
+            "machine": machine_info(),
+            "warnings": bench_warnings(2),
+            "benchmarks": rows8,
+        }
+        Path(args.out8).write_text(json.dumps(doc8, indent=2) + "\n")
+        print(f"wrote {args.out8} ({len(rows8)} benchmarks)")
+        for warning in doc8["warnings"]:
+            print(f"  WARNING: {warning}")
     return 0
 
 

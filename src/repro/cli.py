@@ -368,6 +368,7 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         max_queue=args.max_queue,
         max_active_per_tenant=args.max_active_per_tenant,
         checkpoint_every=args.checkpoint_every,
+        telemetry=args.telemetry,
     )
     server = AlignmentServer(config)
 
@@ -488,7 +489,13 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument(
         "--metrics-out", default=None, metavar="PATH",
         help="write the final metrics-registry snapshot (counters, "
-             "gauges, histograms) to this JSON file",
+             "gauges, histograms) to this file",
+    )
+    obs.add_argument(
+        "--metrics-format", choices=["json", "prometheus", "otlp"],
+        default="json", dest="metrics_format",
+        help="--metrics-out rendering: raw snapshot rows (json), "
+             "Prometheus text exposition, or an OTLP-JSON document",
     )
     obs.add_argument(
         "--live", action="store_true",
@@ -665,6 +672,10 @@ def build_parser() -> argparse.ArgumentParser:
                    dest="checkpoint_every", metavar="N",
                    help="snapshot running solves every N iterations so a "
                         "crashed attempt warm-resumes (0 = off)")
+    p.add_argument("--telemetry", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="serve per-request metrics on GET /v1/metrics "
+                        "(--no-telemetry disables recording)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -727,16 +738,23 @@ def _teardown_observability(args: argparse.Namespace, sinks: list) -> None:
     """Detach sinks and write the metrics snapshot if requested."""
     import json
 
-    from repro.observe import get_bus
+    from repro.observe import get_bus, otlp_json, prometheus_text
 
     bus = get_bus()
     for sink in sinks:
         bus.remove_sink(sink)
         sink.close()
     if args.metrics_out:
+        fmt = getattr(args, "metrics_format", "json")
+        if fmt == "prometheus":
+            text = prometheus_text(bus.metrics)
+        elif fmt == "otlp":
+            text = json.dumps(otlp_json(bus.metrics), indent=2)
+        else:
+            text = json.dumps(bus.metrics.snapshot(), indent=2)
         with open(args.metrics_out, "w", encoding="utf-8") as fh:
-            json.dump(bus.metrics.snapshot(), fh, indent=2)
-        print(f"metrics snapshot written to {args.metrics_out}")
+            fh.write(text)
+        print(f"metrics snapshot ({fmt}) written to {args.metrics_out}")
 
 
 def main(argv: Sequence[str] | None = None) -> int:

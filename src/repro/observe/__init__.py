@@ -13,7 +13,14 @@ waits, remote-traffic estimates).  The pieces:
   (:class:`MetricsRegistry`, one per bus at ``bus.metrics``);
 * :mod:`~repro.observe.sinks` — :class:`MemorySink` (tests/steering),
   :class:`JSONLSink` (durable capture), :class:`ConsoleSink` (live
-  human-readable reporter), :class:`NullSink`;
+  human-readable reporter), :class:`NullSink`, and the sink registry
+  (:func:`make_sink` over :data:`SINK_NAMES`);
+* :mod:`~repro.observe.export` — metrics exporters:
+  :func:`prometheus_text` / :func:`otlp_json` pull snapshots and the
+  :class:`PrometheusExporter` / :class:`OTLPExporter` push sinks;
+* :mod:`~repro.observe.dashboards` — dashboard panel JSON generated
+  from the event schema and serve metric names (the committed
+  ``dashboards/`` files);
 * :mod:`~repro.observe.reconstruct` — rebuild
   :class:`~repro.core.result.IterationRecord` history and per-socket
   simulator counters from a captured stream.
@@ -28,7 +35,19 @@ full schema and worked examples.
 """
 
 from repro.observe.bus import EventBus, capture, get_bus, set_bus
+from repro.observe.dashboards import (
+    DASHBOARD_NAMES,
+    render_dashboards,
+    write_dashboards,
+)
 from repro.observe.events import EVENT_TYPES, Event, validate_event
+from repro.observe.export import (
+    OTLPExporter,
+    PrometheusExporter,
+    merged_rows,
+    otlp_json,
+    prometheus_text,
+)
 from repro.observe.metrics import (
     Counter,
     Gauge,
@@ -43,15 +62,19 @@ from repro.observe.reconstruct import (
     socket_counters_from_events,
 )
 from repro.observe.sinks import (
+    SINK_NAMES,
     ConsoleSink,
     JSONLSink,
     MemorySink,
     NullSink,
     Sink,
+    make_sink,
 )
 
 __all__ = [
+    "DASHBOARD_NAMES",
     "EVENT_TYPES",
+    "SINK_NAMES",
     "ConsoleSink",
     "Counter",
     "Event",
@@ -62,14 +85,22 @@ __all__ = [
     "MemorySink",
     "MetricsRegistry",
     "NullSink",
+    "OTLPExporter",
+    "PrometheusExporter",
     "Sink",
     "SocketCounters",
     "capture",
     "get_bus",
     "history_from_events",
     "history_from_jsonl",
+    "make_sink",
+    "merged_rows",
+    "otlp_json",
+    "prometheus_text",
     "read_jsonl",
+    "render_dashboards",
     "set_bus",
     "socket_counters_from_events",
     "validate_event",
+    "write_dashboards",
 ]

@@ -1,0 +1,405 @@
+"""Metrics exporters: ship a registry snapshot out of the process.
+
+The :class:`~repro.observe.metrics.MetricsRegistry` snapshot rows are
+plain JSON — good for files, useless for a scrape pipeline.  This
+module renders the same rows in the two wire formats the monitoring
+world actually speaks, with zero dependencies:
+
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (``# TYPE`` lines, ``name{label="value"} 1.5`` samples, histogram
+  ``_bucket``/``_sum``/``_count`` series with *cumulative* ``le``
+  buckets, full label escaping);
+* :func:`otlp_json` — an OTLP-JSON-shaped
+  ``ExportMetricsServiceRequest`` document
+  (``resourceMetrics → scopeMetrics → metrics`` with ``sum`` /
+  ``gauge`` / ``histogram`` data points).
+
+Both are usable two ways:
+
+* **pull** — call the function at scrape time (``GET /v1/metrics`` in
+  :mod:`repro.serve` does exactly this);
+* **push** — attach :class:`PrometheusExporter` / :class:`OTLPExporter`
+  as ordinary event-bus sinks; they re-render the registry at most once
+  per ``interval_s`` as events flow past, and always once at
+  ``close()``.  The Prometheus sink *rewrites* its target (node-exporter
+  textfile-collector semantics); the OTLP sink *appends* one JSON line
+  per flush (each line one export request, mimicking repeated pushes).
+
+>>> reg = MetricsRegistry()
+>>> reg.counter("demo_total", kind="doc").inc(3)
+>>> print(prometheus_text(reg))
+# TYPE demo_total counter
+demo_total{kind="doc"} 3
+<BLANKLINE>
+>>> doc = otlp_json(reg)
+>>> doc["resourceMetrics"][0]["scopeMetrics"][0]["metrics"][0]["name"]
+'demo_total'
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from typing import IO, Any, Mapping
+
+from repro.errors import ObservabilityError
+from repro.observe.metrics import MetricsRegistry
+
+__all__ = [
+    "OTLPExporter",
+    "PrometheusExporter",
+    "merged_rows",
+    "otlp_json",
+    "prometheus_text",
+]
+
+
+def merged_rows(*sources: Any) -> list[dict[str, Any]]:
+    """Concatenate snapshot rows from registries and/or row lists.
+
+    Args:
+        *sources: Each item is either a
+            :class:`~repro.observe.metrics.MetricsRegistry` (its
+            ``snapshot()`` is taken) or an iterable of snapshot rows.
+
+    Returns:
+        One combined row list, sorted by ``(metric, labels)`` so the
+        rendered output is deterministic regardless of source order.
+    """
+    rows: list[dict[str, Any]] = []
+    for source in sources:
+        if isinstance(source, MetricsRegistry):
+            rows.extend(source.snapshot())
+        else:
+            rows.extend(source)
+    rows.sort(key=lambda r: (r["metric"], sorted(r["labels"].items())))
+    return rows
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the Prometheus text format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_value(value: float | None) -> str:
+    """Format one sample value the way Prometheus parsers expect."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "NaN"
+    v = float(value)
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v)
+
+
+def _label_str(labels: Mapping[str, str],
+               extra: tuple[tuple[str, str], ...] = ()) -> str:
+    """Render a ``{name="value",...}`` label block (empty string if none)."""
+    items = [(k, str(v)) for k, v in sorted(labels.items())] + list(extra)
+    if not items:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in items)
+    return "{" + inner + "}"
+
+
+def prometheus_text(source: Any, *extra_sources: Any) -> str:
+    """Render snapshot rows in the Prometheus text exposition format.
+
+    Counters and gauges become one sample per label set; histograms
+    become the conventional ``_bucket`` (cumulative counts, ``le``
+    upper bounds ending at ``+Inf``), ``_sum`` and ``_count`` series.
+    Samples of one metric are grouped under a single ``# TYPE`` line,
+    as the format requires.
+
+    Args:
+        source: A :class:`~repro.observe.metrics.MetricsRegistry` or an
+            iterable of snapshot rows.
+        *extra_sources: Additional registries/row lists merged in (the
+            serve layer merges its own HTTP registry with the process
+            bus registry).
+
+    Returns:
+        The exposition text; empty registries render to ``""``.
+
+    Raises:
+        ObservabilityError: If two sources disagree on a metric's kind.
+    """
+    rows = merged_rows(source, *extra_sources)
+    by_name: dict[str, list[dict[str, Any]]] = {}
+    kinds: dict[str, str] = {}
+    for row in rows:
+        name = row["metric"]
+        kind = row["metric_kind"]
+        if kinds.setdefault(name, kind) != kind:
+            raise ObservabilityError(
+                f"metric {name!r} exported as both {kinds[name]} and {kind}"
+            )
+        by_name.setdefault(name, []).append(row)
+    out: list[str] = []
+    for name in sorted(by_name):
+        kind = kinds[name]
+        out.append(f"# TYPE {name} {kind}")
+        for row in by_name[name]:
+            labels = row["labels"]
+            if kind != "histogram":
+                out.append(
+                    f"{name}{_label_str(labels)} "
+                    f"{_format_value(row['value'])}"
+                )
+                continue
+            cumulative = 0
+            bounds = [_format_value(b) for b in row["buckets"]] + ["+Inf"]
+            for bound, count in zip(bounds, row["bucket_counts"]):
+                cumulative += count
+                out.append(
+                    f"{name}_bucket"
+                    f"{_label_str(labels, (('le', bound),))} {cumulative}"
+                )
+            out.append(
+                f"{name}_sum{_label_str(labels)} "
+                f"{_format_value(row['value'])}"
+            )
+            out.append(
+                f"{name}_count{_label_str(labels)} {row['count']}"
+            )
+    return "\n".join(out) + "\n" if out else ""
+
+
+def _otlp_attributes(labels: Mapping[str, str]) -> list[dict[str, Any]]:
+    """Label set → OTLP attribute list (string values)."""
+    return [
+        {"key": k, "value": {"stringValue": str(v)}}
+        for k, v in sorted(labels.items())
+    ]
+
+
+def otlp_json(source: Any, *extra_sources: Any,
+              service_name: str = "repro",
+              time_unix_nano: int | None = None) -> dict[str, Any]:
+    """Render snapshot rows as an OTLP-JSON-shaped metrics document.
+
+    The shape follows the OTLP/HTTP JSON encoding of
+    ``ExportMetricsServiceRequest``: one resource (carrying
+    ``service.name``), one scope (``repro.observe``), and one metric
+    entry per name.  Counters map to monotonic cumulative ``sum``
+    points, gauges to ``gauge`` points, histograms to ``histogram``
+    points with ``explicitBounds``/``bucketCounts`` (per-bucket, not
+    cumulative — OTLP semantics, unlike Prometheus).
+
+    Args:
+        source: A :class:`~repro.observe.metrics.MetricsRegistry` or an
+            iterable of snapshot rows.
+        *extra_sources: Additional registries/row lists merged in.
+        service_name: The ``service.name`` resource attribute.
+        time_unix_nano: Point timestamp; defaults to the current time.
+
+    Returns:
+        The JSON-ready document (``{"resourceMetrics": [...]}``).
+    """
+    rows = merged_rows(source, *extra_sources)
+    now = (time.time_ns() if time_unix_nano is None else time_unix_nano)
+    metrics: dict[str, dict[str, Any]] = {}
+    for row in rows:
+        name = row["metric"]
+        kind = row["metric_kind"]
+        attrs = _otlp_attributes(row["labels"])
+        if kind == "histogram":
+            point = {
+                "attributes": attrs,
+                "timeUnixNano": str(now),
+                "count": str(row["count"]),
+                "sum": row["value"],
+                "bucketCounts": [str(c) for c in row["bucket_counts"]],
+                "explicitBounds": list(row["buckets"]),
+            }
+            if row["min"] is not None:
+                point["min"] = row["min"]
+            if row["max"] is not None:
+                point["max"] = row["max"]
+            entry = metrics.setdefault(name, {
+                "name": name,
+                "histogram": {"aggregationTemporality": 2,
+                              "dataPoints": []},
+            })
+            entry["histogram"]["dataPoints"].append(point)
+            continue
+        point = {
+            "attributes": attrs,
+            "timeUnixNano": str(now),
+            "asDouble": row["value"],
+        }
+        if kind == "counter":
+            entry = metrics.setdefault(name, {
+                "name": name,
+                "sum": {"aggregationTemporality": 2, "isMonotonic": True,
+                        "dataPoints": []},
+            })
+            entry["sum"]["dataPoints"].append(point)
+        else:
+            entry = metrics.setdefault(name, {
+                "name": name, "gauge": {"dataPoints": []},
+            })
+            entry["gauge"]["dataPoints"].append(point)
+    return {
+        "resourceMetrics": [{
+            "resource": {"attributes": [{
+                "key": "service.name",
+                "value": {"stringValue": service_name},
+            }]},
+            "scopeMetrics": [{
+                "scope": {"name": "repro.observe"},
+                "metrics": [metrics[name] for name in sorted(metrics)],
+            }],
+        }],
+    }
+
+
+class _ExporterSink:
+    """Shared machinery of the push-mode exporter sinks.
+
+    Subclasses render the registry with :meth:`_render` and deliver the
+    text with :meth:`_deliver`.  As an event-bus sink, ``write`` is
+    called on solver hot paths, so the periodic check is one monotonic
+    clock read; rendering happens at most once per ``interval_s``.
+    """
+
+    def __init__(self, *, path: str | None = None,
+                 stream: IO[str] | None = None,
+                 registry: MetricsRegistry | None = None,
+                 interval_s: float = 5.0) -> None:
+        if (path is None) == (stream is None):
+            raise ObservabilityError(
+                f"{type(self).__name__} needs exactly one of path= or "
+                f"stream="
+            )
+        if interval_s < 0:
+            raise ObservabilityError("interval_s must be >= 0")
+        self._path = path
+        self._stream = stream
+        self._registry = registry
+        self._interval = float(interval_s)
+        self._last_flush = -math.inf
+        self._closed = False
+
+    def _rows_source(self) -> MetricsRegistry:
+        if self._registry is not None:
+            return self._registry
+        from repro.observe.bus import get_bus
+
+        return get_bus().metrics
+
+    def _render(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _deliver(self, text: str) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Render the registry now and deliver it to the target."""
+        self._last_flush = time.monotonic()
+        self._deliver(self._render())
+
+    def write(self, event: Any) -> None:
+        """Flush if ``interval_s`` has elapsed since the last flush."""
+        if time.monotonic() - self._last_flush >= self._interval:
+            self.flush()
+
+    def close(self) -> None:
+        """Flush one final snapshot and release the target."""
+        if self._closed:
+            return
+        self._closed = True
+        self.flush()
+
+
+class PrometheusExporter(_ExporterSink):
+    """Push sink rendering :func:`prometheus_text` to a file or stream.
+
+    Each flush *replaces* the previous content — with ``path=`` via an
+    atomic write-then-rename (textfile-collector convention), with a
+    seekable ``stream=`` via truncate-and-rewrite.
+
+    >>> import io
+    >>> reg = MetricsRegistry(); reg.gauge("up").set(1)
+    >>> sink = PrometheusExporter(stream=io.StringIO(), registry=reg,
+    ...                           interval_s=0.0)
+    >>> sink.close(); print(sink._stream.getvalue())
+    # TYPE up gauge
+    up 1
+    <BLANKLINE>
+    """
+
+    def _render(self) -> str:
+        return prometheus_text(self._rows_source())
+
+    def _deliver(self, text: str) -> None:
+        if self._path is not None:
+            tmp = f"{self._path}.tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            os.replace(tmp, self._path)
+            return
+        assert self._stream is not None
+        if self._stream.seekable():
+            self._stream.seek(0)
+            self._stream.truncate()
+        self._stream.write(text)
+        self._stream.flush()
+
+
+class OTLPExporter(_ExporterSink):
+    """Push sink appending one OTLP-JSON export line per flush.
+
+    Each flush appends one compact :func:`otlp_json` document as a
+    single line — the file becomes a JSONL log of export requests, the
+    closest file-shaped analogue of repeated OTLP/HTTP pushes.
+
+    >>> import io, json
+    >>> reg = MetricsRegistry(); reg.counter("n_total").inc()
+    >>> sink = OTLPExporter(stream=io.StringIO(), registry=reg,
+    ...                     interval_s=0.0)
+    >>> sink.close()
+    >>> "resourceMetrics" in json.loads(sink._stream.getvalue())
+    True
+    """
+
+    def __init__(self, *, path: str | None = None,
+                 stream: IO[str] | None = None,
+                 registry: MetricsRegistry | None = None,
+                 interval_s: float = 5.0,
+                 service_name: str = "repro") -> None:
+        super().__init__(path=path, stream=stream, registry=registry,
+                         interval_s=interval_s)
+        self._service_name = service_name
+        self._fh: IO[str] | None = None
+
+    def _render(self) -> str:
+        doc = otlp_json(self._rows_source(),
+                        service_name=self._service_name)
+        return json.dumps(doc, sort_keys=True)
+
+    def _deliver(self, text: str) -> None:
+        if self._path is not None:
+            if self._fh is None:
+                self._fh = open(self._path, "a", encoding="utf-8")
+            self._fh.write(text + "\n")
+            self._fh.flush()
+            return
+        assert self._stream is not None
+        self._stream.write(text + "\n")
+        self._stream.flush()
+
+    def close(self) -> None:
+        """Flush one final export line and close the owned file."""
+        super().close()
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None

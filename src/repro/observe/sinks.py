@@ -11,24 +11,43 @@ implementations cover the paper-reproduction workflows:
 * :class:`NullSink` — accepts and drops everything (exercises the full
   emission path without storage; used by the overhead tests).
 
+The metrics-exporter sinks (:class:`~repro.observe.export.PrometheusExporter`,
+:class:`~repro.observe.export.OTLPExporter`) live in
+:mod:`repro.observe.export` and follow the same contract.
+
 Sinks never raise out of ``write`` design-wise — they are called from
 solver hot loops; a failing sink should be detached, not crash a run.
+
+Construction is uniform: every sink takes keyword options only, and
+:func:`make_sink` builds any of them by registry name::
+
+    make_sink("jsonl", path="run.jsonl")
+    make_sink("console", verbose=True)
+    make_sink("prometheus", path="metrics.prom", interval_s=10.0)
+
+The pre-registry positional forms (``JSONLSink(fileobj)``,
+``ConsoleSink(stream)``) keep working but emit a ``DeprecationWarning``;
+``docs/observability.md`` documents the migration.
 """
 
 from __future__ import annotations
 
+import importlib
 import io
 import json
 import math
 import sys
 import threading
 import time
+import warnings
 from typing import IO, Iterable, Protocol
 
+from repro.errors import ObservabilityError
 from repro.observe.events import Event
 
 __all__ = [
     "Sink", "MemorySink", "JSONLSink", "ConsoleSink", "NullSink",
+    "SINK_NAMES", "make_sink",
     "event_to_json", "event_from_json",
 ]
 
@@ -109,14 +128,36 @@ class MemorySink:
 
 
 class JSONLSink:
-    """Appends one JSON line per event to a file (or file-like object)."""
+    """Appends one JSON line per event to a file (or file-like object).
 
-    def __init__(self, path_or_file: str | IO[str]) -> None:
-        if isinstance(path_or_file, (str, bytes)):
-            self._fh: IO[str] = open(path_or_file, "w", encoding="utf-8")
+    Args:
+        path: File path to create and own (closed by ``close()``).
+        stream: An already-open text stream to write to instead; the
+            caller keeps ownership.  Exactly one of ``path``/``stream``
+            must be given.  Passing a file object as ``path`` (the
+            pre-registry ``JSONLSink(path_or_file)`` form) still works
+            but emits a ``DeprecationWarning``.
+    """
+
+    def __init__(self, path: str | IO[str] | None = None, *,
+                 stream: IO[str] | None = None) -> None:
+        if path is not None and not isinstance(path, (str, bytes)):
+            warnings.warn(
+                "passing a file object to JSONLSink(path_or_file) is "
+                "deprecated; use JSONLSink(stream=...)",
+                DeprecationWarning, stacklevel=2,
+            )
+            path, stream = None, path
+        if (path is None) == (stream is None):
+            raise ObservabilityError(
+                "JSONLSink needs exactly one of path= or stream="
+            )
+        if path is not None:
+            self._fh: IO[str] = open(path, "w", encoding="utf-8")
             self._owns = True
         else:
-            self._fh = path_or_file
+            assert stream is not None
+            self._fh = stream
             self._owns = False
         self._lock = threading.Lock()
 
@@ -159,11 +200,22 @@ class ConsoleSink:
 
     def __init__(
         self,
+        *args: IO[str],
         stream: IO[str] | None = None,
-        *,
         min_interval: float = 0.0,
         verbose: bool = False,
     ) -> None:
+        if args:
+            if len(args) > 1 or stream is not None:
+                raise TypeError(
+                    "ConsoleSink takes at most one stream argument"
+                )
+            warnings.warn(
+                "passing the stream positionally to ConsoleSink is "
+                "deprecated; use ConsoleSink(stream=...)",
+                DeprecationWarning, stacklevel=2,
+            )
+            stream = args[0]
         self._stream = stream if stream is not None else sys.stderr
         self._min_interval = min_interval
         self._verbose = verbose
@@ -253,3 +305,56 @@ class NullSink:
 
     def close(self) -> None:
         pass
+
+
+#: Registry name → ``module:Class`` for every constructible sink.  The
+#: exporter entries resolve lazily so importing :mod:`repro.observe.sinks`
+#: never pulls in the export layer.
+_SINK_REGISTRY: dict[str, str] = {
+    "memory": "repro.observe.sinks:MemorySink",
+    "jsonl": "repro.observe.sinks:JSONLSink",
+    "console": "repro.observe.sinks:ConsoleSink",
+    "null": "repro.observe.sinks:NullSink",
+    "prometheus": "repro.observe.export:PrometheusExporter",
+    "otlp": "repro.observe.export:OTLPExporter",
+}
+
+#: Every name :func:`make_sink` accepts, sorted.
+SINK_NAMES: tuple[str, ...] = tuple(sorted(_SINK_REGISTRY))
+
+
+def make_sink(name: str, **opts) -> Sink:
+    """Construct a sink by registry name with uniform keyword options.
+
+    Args:
+        name: One of :data:`SINK_NAMES` — ``"memory"``, ``"jsonl"``,
+            ``"console"``, ``"null"``, ``"prometheus"``, ``"otlp"``.
+        **opts: Keyword options forwarded to the sink's constructor
+            (e.g. ``path=`` for jsonl/prometheus/otlp, ``stream=`` /
+            ``verbose=`` for console, ``interval_s=``/``registry=``
+            for the exporters).
+
+    Returns:
+        The constructed sink, ready for ``bus.add_sink``.
+
+    Raises:
+        ObservabilityError: On an unknown name or options the named
+            sink does not accept.
+
+    >>> sink = make_sink("memory")
+    >>> type(sink).__name__
+    'MemorySink'
+    """
+    target = _SINK_REGISTRY.get(name)
+    if target is None:
+        raise ObservabilityError(
+            f"unknown sink {name!r}; known sinks: {', '.join(SINK_NAMES)}"
+        )
+    module_name, _, class_name = target.partition(":")
+    cls = getattr(importlib.import_module(module_name), class_name)
+    try:
+        return cls(**opts)
+    except TypeError as exc:
+        raise ObservabilityError(
+            f"bad options for sink {name!r}: {exc}"
+        ) from None

@@ -8,21 +8,28 @@ the observe bus, supervised execution with checkpoint-backed resume on
 worker loss, and incremental realignment (``warm_from`` submissions
 seeded from a bounded LRU of converged solver states).
 
+The HTTP surface is versioned under ``/v1`` (legacy unprefixed routes
+still answer, marked with a ``Deprecation`` header), and — unless
+``ServeConfig(telemetry=False)`` — every server exposes a Prometheus
+scrape endpoint at ``GET /v1/metrics`` backed by
+:class:`~repro.serve.telemetry.ServeTelemetry`.
+
 The API contract lives in ``docs/serving.md`` (normative; its examples
 are executed by the docs-consistency tests).  Quick start::
 
     from repro.serve import ServeConfig, serve_in_thread
 
     with serve_in_thread(ServeConfig(port=0, workers=2)) as server:
-        print(server.base_url)   # POST /jobs, GET /jobs/{id}, ...
+        print(server.base_url)   # POST /v1/jobs, GET /v1/metrics, ...
 
 or, from a shell: ``python -m repro.cli serve --port 8080``.
 
 Module map: :mod:`~repro.serve.wire` (JSON schemas, hashing, the error
 envelope), :mod:`~repro.serve.cache` (content-addressed LRU),
 :mod:`~repro.serve.quotas` (admission control), :mod:`~repro.serve.jobs`
-(job store + worker pool), :mod:`~repro.serve.server` (the HTTP front
-end), :mod:`~repro.serve.config` (:class:`ServeConfig`).
+(job store + worker pool), :mod:`~repro.serve.telemetry` (the request
+metrics registry), :mod:`~repro.serve.server` (the HTTP front end),
+:mod:`~repro.serve.config` (:class:`ServeConfig`).
 """
 
 from repro.serve.cache import ResultCache
@@ -36,7 +43,9 @@ from repro.serve.jobs import (
 )
 from repro.serve.quotas import AdmissionError, TenantQuotas
 from repro.serve.server import AlignmentServer, serve_in_thread
+from repro.serve.telemetry import ServeTelemetry, route_template
 from repro.serve.wire import (
+    API_VERSION,
     cache_key,
     error_envelope,
     problem_digest,
@@ -46,6 +55,7 @@ from repro.serve.wire import (
 )
 
 __all__ = [
+    "API_VERSION",
     "AdmissionError",
     "AlignmentServer",
     "JOB_STATES",
@@ -53,6 +63,7 @@ __all__ = [
     "JobStore",
     "ResultCache",
     "ServeConfig",
+    "ServeTelemetry",
     "TERMINAL_STATES",
     "TenantQuotas",
     "WarmUnavailableError",
@@ -62,5 +73,6 @@ __all__ = [
     "problem_from_wire",
     "problem_to_wire",
     "result_to_wire",
+    "route_template",
     "serve_in_thread",
 ]

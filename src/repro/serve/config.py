@@ -50,6 +50,11 @@ class ServeConfig(ConfigBase):
             ``inf`` disables the timeout.
         wait_timeout_s: Longest a ``POST /jobs?wait=1`` submission
             blocks for a terminal state before answering ``504``.
+        telemetry: Serve the always-on HTTP metrics registry and attach
+            the telemetry sink to the process observe bus while the
+            server runs (``GET /v1/metrics``).  Off disables per-request
+            metric recording; the endpoint then exposes only whatever
+            the observe bus already collects.
         seed: Accepted on every public config (round-tripped, recorded
             in provenance); the server itself is deterministic and does
             not consume it.
@@ -67,6 +72,7 @@ class ServeConfig(ConfigBase):
     max_retries: int = 1
     timeout_s: float = float("inf")
     wait_timeout_s: float = 60.0
+    telemetry: bool = True
     seed: int | None = None
 
     def __post_init__(self) -> None:

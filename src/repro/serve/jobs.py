@@ -510,6 +510,11 @@ class JobStore:
         self._finish(job, "cancelled")
         return "cancelled"
 
+    def queue_depth(self) -> int:
+        """Jobs currently waiting for a worker (the scrape-time gauge)."""
+        with self._lock:
+            return len(self._queue)
+
     def counts(self) -> dict[str, int]:
         """Jobs per state (the ``/healthz`` occupancy report)."""
         out = {state: 0 for state in JOB_STATES}

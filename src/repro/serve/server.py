@@ -7,6 +7,19 @@ and writes JSON responses.  Every response closes its connection
 (``Connection: close``), which keeps the parser honest and lets the
 NDJSON progress stream be close-delimited.
 
+The API is versioned: every route lives under ``/v1`` (``/v1/jobs``,
+``/v1/healthz``, ``/v1/metrics``, …).  The original unprefixed paths
+keep working route-for-route, but every response to one carries a
+``Deprecation: true`` header, and request metrics label them
+``api="legacy"`` so a migration can be watched on a dashboard.
+
+Unless disabled (``ServeConfig(telemetry=False)``), the server carries a
+:class:`~repro.serve.telemetry.ServeTelemetry`: per-request latency
+histograms, status-code counters and an in-flight gauge, plus
+scrape-time occupancy gauges — all rendered by ``GET /v1/metrics`` in
+Prometheus text exposition (or OTLP JSON with ``?format=otlp``),
+merged with whatever the process observe bus has accumulated.
+
 The endpoint contract — methods, schemas, status codes, the error
 envelope, streaming frames, cache and quota semantics — is documented
 normatively in ``docs/serving.md``; ``tests/test_docs_consistency.py``
@@ -25,16 +38,23 @@ import asyncio
 import contextlib
 import json
 import threading
+import time
 from typing import Any, Iterator
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import ConfigurationError, ValidationError
+from repro.observe.bus import get_bus
+from repro.observe.export import otlp_json, prometheus_text
 from repro.serve.config import ServeConfig
 from repro.serve.jobs import Job, JobStore, WarmUnavailableError
 from repro.serve.quotas import AdmissionError
-from repro.serve.wire import error_envelope
+from repro.serve.telemetry import ServeTelemetry, route_template
+from repro.serve.wire import API_VERSION, error_envelope
 
 __all__ = ["AlignmentServer", "serve_in_thread"]
+
+#: Content type of the Prometheus text exposition format.
+_PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Largest accepted request body; bigger submissions answer 413.
 MAX_BODY_BYTES = 128 * 1024 * 1024
@@ -110,17 +130,50 @@ async def _read_request(
     return method, target, headers, body
 
 
-def _head(status: int, content_type: str,
-          length: int | None) -> bytes:
-    """Format a response head (status line + headers + blank line)."""
+def _head(status: int, content_type: str, length: int | None,
+          extra: tuple[str, ...] = ()) -> bytes:
+    """Format a response head (status line + headers + blank line).
+
+    Args:
+        status: HTTP status code.
+        content_type: ``Content-Type`` header value.
+        length: Body size for ``Content-Length``, or ``None`` for a
+            close-delimited response (the NDJSON stream).
+        extra: Additional preformatted ``Name: value`` header lines
+            (the ``Deprecation`` marker on legacy routes).
+    """
     lines = [
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
         f"Content-Type: {content_type}",
         "Connection: close",
+        *extra,
     ]
     if length is not None:
         lines.append(f"Content-Length: {length}")
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+class _Ctx:
+    """Per-request response context threaded through the handlers.
+
+    Bundles the writer with the request's API generation (``v1`` or
+    legacy), its route template, and the status that was eventually
+    written — so the telemetry hooks in ``_handle`` never race another
+    request's state.
+    """
+
+    __slots__ = ("writer", "deprecated", "api", "route", "status")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.deprecated = False
+        self.api = API_VERSION
+        self.route = "(unmatched)"
+        self.status = 0
+
+    def extra_headers(self) -> tuple[str, ...]:
+        """Response headers implied by the request (deprecation mark)."""
+        return ("Deprecation: true",) if self.deprecated else ()
 
 
 class AlignmentServer:
@@ -136,6 +189,9 @@ class AlignmentServer:
                  store: JobStore | None = None) -> None:
         self.config = config if config is not None else ServeConfig()
         self.store = store if store is not None else JobStore(self.config)
+        self.telemetry: ServeTelemetry | None = (
+            ServeTelemetry() if self.config.telemetry else None
+        )
         self.port: int | None = None
         self._server: asyncio.base_events.Server | None = None
 
@@ -146,7 +202,14 @@ class AlignmentServer:
 
     # -- lifecycle -----------------------------------------------------
     async def start(self) -> None:
-        """Bind the listener and begin accepting connections."""
+        """Bind the listener and begin accepting connections.
+
+        With telemetry enabled this also attaches the telemetry sink to
+        the process observe bus (activating it), so solver and serve
+        counters accumulate for the merged ``/v1/metrics`` snapshot.
+        """
+        if self.telemetry is not None:
+            get_bus().add_sink(self.telemetry)
         self._server = await asyncio.start_server(
             self._handle, self.config.host, self.config.port
         )
@@ -162,6 +225,8 @@ class AlignmentServer:
 
     async def stop(self) -> None:
         """Close the listener (worker shutdown is the store's job)."""
+        if self.telemetry is not None:
+            get_bus().remove_sink(self.telemetry)
         if self._server is not None:
             self._server.close()
             with contextlib.suppress(asyncio.TimeoutError):
@@ -172,33 +237,49 @@ class AlignmentServer:
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
         """Serve one connection: parse, route, respond, close."""
+        ctx = _Ctx(writer)
+        method = "?"
+        start = time.perf_counter()
+        if self.telemetry is not None:
+            self.telemetry.request_started()
         try:
             try:
                 method, target, headers, body = await _read_request(reader)
-                await self._route(writer, method, target, headers, body)
+                await self._route(ctx, method, target, headers, body)
             except _HttpError as exc:
                 await self._send_json(
-                    writer, exc.status,
+                    ctx, exc.status,
                     error_envelope(exc.code, exc.message),
                 )
             except (ConnectionError, asyncio.IncompleteReadError):
                 pass
             except Exception as exc:  # noqa: BLE001 - last-resort envelope
                 await self._send_json(
-                    writer, 500,
+                    ctx, 500,
                     error_envelope("internal", f"unhandled error: {exc!r}"),
                 )
         finally:
+            if self.telemetry is not None:
+                self.telemetry.request_finished(
+                    method, ctx.route, ctx.status,
+                    time.perf_counter() - start, ctx.api,
+                )
             with contextlib.suppress(ConnectionError):
                 writer.close()
                 await writer.wait_closed()
 
-    async def _route(self, writer: asyncio.StreamWriter, method: str,
-                     target: str, headers: dict[str, str],
-                     body: bytes) -> None:
+    async def _route(self, ctx: _Ctx, method: str, target: str,
+                     headers: dict[str, str], body: bytes) -> None:
         """Dispatch one parsed request to its endpoint handler."""
         split = urlsplit(target)
-        path = split.path.rstrip("/") or "/"
+        raw_path = split.path.rstrip("/") or "/"
+        if raw_path == "/v1" or raw_path.startswith("/v1/"):
+            path = raw_path[len("/v1"):] or "/"
+        else:
+            path = raw_path
+            ctx.deprecated = True
+            ctx.api = "legacy"
+        ctx.route = route_template(path)
         query = parse_qs(split.query)
         tenant = headers.get("x-tenant", "default")
 
@@ -206,13 +287,19 @@ class AlignmentServer:
             if method != "GET":
                 raise _HttpError(405, "method_not_allowed",
                                  f"{method} not allowed on {path}")
-            await self._send_json(writer, 200, self._health_doc())
+            await self._send_json(ctx, 200, self._health_doc())
+            return
+        if path == "/metrics":
+            if method != "GET":
+                raise _HttpError(405, "method_not_allowed",
+                                 f"{method} not allowed on {path}")
+            await self._get_metrics(ctx, query)
             return
         if path == "/jobs":
             if method != "POST":
                 raise _HttpError(405, "method_not_allowed",
                                  f"{method} not allowed on {path}")
-            await self._post_job(writer, body, query, tenant)
+            await self._post_job(ctx, body, query, tenant)
             return
         if path.startswith("/jobs/"):
             rest = path[len("/jobs/"):].split("/")
@@ -225,13 +312,13 @@ class AlignmentServer:
                 raise _HttpError(404, "not_found",
                                  f"no job with id {job_id!r}")
             if tail == "" and method == "GET":
-                await self._send_json(writer, 200, job.snapshot())
+                await self._send_json(ctx, 200, job.snapshot())
             elif tail == "" and method == "DELETE":
-                await self._delete_job(writer, job_id)
+                await self._delete_job(ctx, job_id)
             elif tail == "result" and method == "GET":
-                await self._get_result(writer, job)
+                await self._get_result(ctx, job)
             elif tail == "events" and method == "GET":
-                await self._stream_events(writer, job)
+                await self._stream_events(ctx, job)
             else:
                 raise _HttpError(405, "method_not_allowed",
                                  f"{method} not allowed on {path}")
@@ -240,18 +327,57 @@ class AlignmentServer:
 
     # -- endpoints -----------------------------------------------------
     def _health_doc(self) -> dict[str, Any]:
-        """Build the ``GET /healthz`` payload."""
+        """Build the ``GET /healthz`` payload.
+
+        Beyond liveness, the document reports the occupancy numbers a
+        dashboard's cheap probe needs: queue depth, cache entries (with
+        hit/miss counters), and warm-store size.
+        """
         import repro
 
         return {
             "status": "ok",
+            "api_version": API_VERSION,
             "version": getattr(repro, "__version__", "unknown"),
             "jobs": self.store.counts(),
+            "queue_depth": self.store.queue_depth(),
             "cache": self.store.cache.stats(),
+            "warm": self.store.warm.stats(),
             "quotas": self.store.quotas.snapshot(),
         }
 
-    async def _post_job(self, writer: asyncio.StreamWriter, body: bytes,
+    async def _get_metrics(self, ctx: _Ctx,
+                           query: dict[str, list[str]]) -> None:
+        """Handle ``GET /v1/metrics``: render the merged metric snapshot.
+
+        Default rendering is the Prometheus text exposition format;
+        ``?format=otlp`` answers an OTLP-JSON resource-metrics document
+        instead.  The snapshot merges the server's own telemetry
+        registry with the process observe-bus registry, after refreshing
+        the scrape-time occupancy gauges from the job store.
+        """
+        fmt = query.get("format", ["prometheus"])[0]
+        if fmt not in ("prometheus", "otlp"):
+            raise _HttpError(
+                400, "bad_request",
+                f"unknown metrics format {fmt!r}; use prometheus or otlp",
+            )
+        sources = []
+        if self.telemetry is not None:
+            self.telemetry.refresh(self.store)
+            sources.append(self.telemetry.registry)
+        sources.append(get_bus().metrics)
+        if fmt == "otlp":
+            await self._send_json(ctx, 200, otlp_json(*sources))
+            return
+        data = prometheus_text(*sources).encode("utf-8")
+        ctx.status = 200
+        ctx.writer.write(_head(200, _PROM_CONTENT_TYPE, len(data),
+                               ctx.extra_headers()))
+        ctx.writer.write(data)
+        await ctx.writer.drain()
+
+    async def _post_job(self, ctx: _Ctx, body: bytes,
                         query: dict[str, list[str]], tenant: str) -> None:
         """Handle ``POST /jobs`` (optionally ``?wait=1``)."""
         try:
@@ -280,13 +406,12 @@ class AlignmentServer:
                     504, "timeout",
                     f"job {job.id} did not finish within "
                     f"{self.config.wait_timeout_s:g}s (it keeps running; "
-                    f"poll GET /jobs/{job.id})",
+                    f"poll GET /v1/jobs/{job.id})",
                 )
         status = 200 if job.terminal else 202
-        await self._send_json(writer, status, job.snapshot())
+        await self._send_json(ctx, status, job.snapshot())
 
-    async def _delete_job(self, writer: asyncio.StreamWriter,
-                          job_id: str) -> None:
+    async def _delete_job(self, ctx: _Ctx, job_id: str) -> None:
         """Handle ``DELETE /jobs/{id}``."""
         state = self.store.cancel(job_id)
         if state is None:
@@ -298,20 +423,21 @@ class AlignmentServer:
             )
         job = self.store.get(job_id)
         assert job is not None
-        await self._send_json(writer, 200, job.snapshot())
+        await self._send_json(ctx, 200, job.snapshot())
 
-    async def _get_result(self, writer: asyncio.StreamWriter,
-                          job: Job) -> None:
+    async def _get_result(self, ctx: _Ctx, job: Job) -> None:
         """Handle ``GET /jobs/{id}/result``."""
         snap = job.snapshot()
         state = snap["state"]
         if state == "done":
             payload = dict(job.result or {})
             payload["cached"] = job.cached
-            await self._send_json(writer, 200, payload)
+            await self._send_json(ctx, 200, payload)
             return
         if state == "failed":
-            await self._send_json(writer, 500, {"error": snap["error"]})
+            await self._send_json(ctx, 500, {
+                "api_version": API_VERSION, "error": snap["error"],
+            })
             return
         if state == "cancelled":
             raise _HttpError(410, "gone", f"job {job.id} was cancelled")
@@ -320,14 +446,16 @@ class AlignmentServer:
             f"job {job.id} has no result yet (state {state!r})",
         )
 
-    async def _stream_events(self, writer: asyncio.StreamWriter,
-                             job: Job) -> None:
+    async def _stream_events(self, ctx: _Ctx, job: Job) -> None:
         """Handle ``GET /jobs/{id}/events``: close-delimited NDJSON.
 
         Frames already recorded are flushed immediately; new ones are
         polled every 20 ms until the job is terminal and fully drained.
         """
-        writer.write(_head(200, "application/x-ndjson", None))
+        ctx.status = 200
+        writer = ctx.writer
+        writer.write(_head(200, "application/x-ndjson", None,
+                           ctx.extra_headers()))
         sent = 0
         while True:
             frames = job.frames_since(sent)
@@ -341,13 +469,15 @@ class AlignmentServer:
                 return
             await asyncio.sleep(0.02)
 
-    async def _send_json(self, writer: asyncio.StreamWriter, status: int,
+    async def _send_json(self, ctx: _Ctx, status: int,
                          body: dict[str, Any]) -> None:
         """Write one complete JSON response."""
+        ctx.status = status
         data = json.dumps(body, sort_keys=True).encode("utf-8")
-        writer.write(_head(status, "application/json", len(data)))
-        writer.write(data)
-        await writer.drain()
+        ctx.writer.write(_head(status, "application/json", len(data),
+                               ctx.extra_headers()))
+        ctx.writer.write(data)
+        await ctx.writer.drain()
 
 
 @contextlib.contextmanager

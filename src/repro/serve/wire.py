@@ -40,6 +40,7 @@ from repro.graph.graph import Graph
 from repro.sparse.bipartite import BipartiteGraph
 
 __all__ = [
+    "API_VERSION",
     "cache_key",
     "error_envelope",
     "problem_digest",
@@ -47,6 +48,10 @@ __all__ = [
     "problem_to_wire",
     "result_to_wire",
 ]
+
+#: The current HTTP API version: the ``/v1`` route prefix and the
+#: ``api_version`` field stamped on every error envelope.
+API_VERSION = "v1"
 
 
 def _require(mapping: Mapping[str, Any], key: str, where: str) -> Any:
@@ -300,9 +305,14 @@ def error_envelope(code: str, message: str,
         detail: Optional structured context (echoed verbatim).
 
     Returns:
-        ``{"error": {"code", "message"[, "detail"]}}``.
+        ``{"api_version": "v1", "error": {"code", "message"[, "detail"]}}``.
+        The top-level ``api_version`` is stable across the deprecation
+        of the unprefixed routes — clients can key parsers on it.
     """
-    body: dict[str, Any] = {"error": {"code": code, "message": message}}
+    body: dict[str, Any] = {
+        "api_version": API_VERSION,
+        "error": {"code": code, "message": message},
+    }
     if detail:
         body["error"]["detail"] = dict(detail)
     return body

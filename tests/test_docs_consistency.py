@@ -23,6 +23,7 @@ import pytest
 
 import repro.observe.bus
 import repro.observe.events
+import repro.observe.export
 import repro.observe.metrics
 import repro.observe.reconstruct
 import repro.observe.sinks
@@ -36,6 +37,7 @@ OBSERVE_MODULES = [
     repro.observe.metrics,
     repro.observe.sinks,
     repro.observe.bus,
+    repro.observe.export,
     repro.observe.reconstruct,
 ]
 
@@ -161,8 +163,9 @@ SERVE_ERROR_CODES = (
 
 #: Every route the server exposes (docs must show each one).
 SERVE_ROUTES = (
-    "GET /healthz", "POST /jobs", "GET /jobs/{id}",
-    "GET /jobs/{id}/result", "GET /jobs/{id}/events", "DELETE /jobs/{id}",
+    "GET /v1/healthz", "GET /v1/metrics", "POST /v1/jobs",
+    "GET /v1/jobs/{id}", "GET /v1/jobs/{id}/result",
+    "GET /v1/jobs/{id}/events", "DELETE /v1/jobs/{id}",
 )
 
 

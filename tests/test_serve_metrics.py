@@ -1,0 +1,391 @@
+"""Serve telemetry: /v1 surface, the metrics scrape, dashboards.
+
+Covers the observability half of the serving layer:
+
+* unit tests for :func:`repro.serve.route_template` (bounded label
+  cardinality) and the :class:`ServeTelemetry` bus-sink folding
+  (``backend_degraded`` → latched breaker gauge, ``task_retry`` →
+  retry counter);
+* live-server tests over real sockets — the Prometheus scrape is
+  parsed back, the ``api="v1"`` / ``api="legacy"`` request labels and
+  the ``Deprecation: true`` header on unprefixed routes are asserted,
+  plus ``?format=otlp``, the enriched ``/v1/healthz`` document, and a
+  concurrent scrape-while-solving run;
+* drift tests — the committed ``dashboards/*.json`` must equal the
+  generated output byte-for-byte, and every metric-name constant must
+  be documented in ``docs/observability.md``.
+"""
+
+import http.client
+import json
+import threading
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.observe import get_bus, render_dashboards
+from repro.observe.dashboards import DASHBOARD_NAMES
+from repro.observe.events import Event
+from repro.serve import (
+    API_VERSION,
+    ServeConfig,
+    ServeTelemetry,
+    problem_to_wire,
+    route_template,
+    serve_in_thread,
+)
+from repro.serve import telemetry as telemetry_mod
+from tests.test_export import parse_prometheus_text
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _request(base_url, method, path, body=None):
+    """One HTTP request; returns (status, headers, parsed-or-raw body)."""
+    host, port = base_url.removeprefix("http://").rsplit(":", 1)
+    conn = http.client.HTTPConnection(host, int(port), timeout=60)
+    try:
+        payload = None
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+        conn.request(method, path, body=payload)
+        resp = conn.getresponse()
+        raw = resp.read()
+        headers = dict(resp.getheaders())
+    finally:
+        conn.close()
+    try:
+        return resp.status, headers, json.loads(raw)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return resp.status, headers, raw
+
+
+@pytest.fixture(scope="module")
+def wire_problem():
+    instance = repro.powerlaw_alignment_instance(
+        n=30, expected_degree=4, seed=1
+    )
+    return problem_to_wire(instance.problem)
+
+
+def _submission(wire_problem, **overrides):
+    doc = {"method": "bp",
+           "config": {"n_iter": 8, "matcher": "approx", "batch": 2},
+           "problem": wire_problem}
+    doc.update(overrides)
+    return doc
+
+
+# --------------------------------------------------------------------
+# unit: route templates and bus-event folding
+# --------------------------------------------------------------------
+
+class TestRouteTemplate:
+    @pytest.mark.parametrize("path,template", [
+        ("/healthz", "/healthz"),
+        ("/metrics", "/metrics"),
+        ("/jobs", "/jobs"),
+        ("/jobs/j-abc123", "/jobs/{id}"),
+        ("/jobs/j-abc123/result", "/jobs/{id}/result"),
+        ("/jobs/j-abc123/events", "/jobs/{id}/events"),
+        ("/jobs/j-abc123/nope", "(unmatched)"),
+        ("/jobs/a/b/c", "(unmatched)"),
+        ("/", "(unmatched)"),
+        ("/admin/../../etc/passwd", "(unmatched)"),
+    ])
+    def test_known_paths_map_to_templates(self, path, template):
+        assert route_template(path) == template
+
+
+def _degraded(site="serve.job", to="numpy"):
+    return Event("backend_degraded", 1, 0.0, {
+        "site": site, "from_backend": "process", "to_backend": to,
+        "reason": "boom",
+    })
+
+
+class TestTelemetrySink:
+    def _value(self, tele, metric, **labels):
+        rows = tele.registry.snapshot()
+        for row in rows:
+            if row["metric"] == metric and row["labels"] == labels:
+                return row["value"]
+        raise AssertionError(f"{metric}{labels} not in snapshot")
+
+    def test_degradation_events_latch_the_breaker_gauge(self):
+        tele = ServeTelemetry()
+        assert self._value(
+            tele, telemetry_mod.METRIC_BREAKER_OPEN, site="serve.job"
+        ) == 0.0
+        tele.write(_degraded())
+        tele.write(_degraded(to="python"))
+        assert self._value(
+            tele, telemetry_mod.METRIC_BREAKER_OPEN, site="serve.job"
+        ) == 1.0
+        assert self._value(
+            tele, telemetry_mod.METRIC_DEGRADED,
+            site="serve.job", to_backend="numpy",
+        ) == 1.0
+        assert self._value(
+            tele, telemetry_mod.METRIC_DEGRADED,
+            site="serve.job", to_backend="python",
+        ) == 1.0
+
+    def test_retry_events_counted_per_site(self):
+        tele = ServeTelemetry()
+        event = Event("task_retry", 1, 0.0, {
+            "site": "serve.job", "task_index": 0, "attempt": 1,
+            "backend": "process", "reason": "timeout", "backoff_s": 0.1,
+        })
+        tele.write(event)
+        tele.write(event)
+        assert self._value(
+            tele, telemetry_mod.METRIC_RETRY_EVENTS, site="serve.job"
+        ) == 2.0
+
+    def test_unrelated_events_are_dropped(self):
+        tele = ServeTelemetry()
+        before = len(tele.registry.snapshot())
+        tele.write(Event("span_start", 1, 0.0, {"name": "x"}))
+        assert len(tele.registry.snapshot()) == before
+
+    def test_request_hooks_feed_counter_histogram_and_gauge(self):
+        tele = ServeTelemetry()
+        tele.request_started()
+        assert self._value(
+            tele, telemetry_mod.METRIC_IN_FLIGHT) == 1.0
+        tele.request_finished("GET", "/jobs", 200, 0.004, "v1")
+        assert self._value(
+            tele, telemetry_mod.METRIC_IN_FLIGHT) == 0.0
+        assert self._value(
+            tele, telemetry_mod.METRIC_REQUESTS,
+            method="GET", route="/jobs", status="200", api="v1",
+        ) == 1.0
+
+
+# --------------------------------------------------------------------
+# live server
+# --------------------------------------------------------------------
+
+@pytest.fixture(scope="class")
+def server():
+    with serve_in_thread(ServeConfig(port=0, workers=1)) as srv:
+        yield srv
+
+
+class TestLiveMetrics:
+    def test_scrape_parses_back_with_expected_series(self, server):
+        # Traffic on both API generations, so both labels appear.
+        _request(server.base_url, "GET", "/healthz")
+        _request(server.base_url, "GET", "/v1/healthz")
+        status, headers, raw = _request(
+            server.base_url, "GET", "/v1/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in headers["Content-Type"]
+        types, samples = parse_prometheus_text(raw.decode("utf-8"))
+        assert types["repro_http_requests_total"] == "counter"
+        assert types["repro_http_request_seconds"] == "histogram"
+        assert types["repro_serve_queue_depth"] == "gauge"
+        assert types["repro_serve_cache_hit_ratio"] == "gauge"
+        assert types["repro_serve_breaker_open"] == "gauge"
+        apis = {
+            dict(labels).get("api")
+            for (name, labels) in samples
+            if name == "repro_http_requests_total"
+        }
+        assert {"v1", "legacy"} <= apis
+        # The pre-registered latency histogram is visible immediately.
+        key = ("repro_http_request_seconds_count",
+               frozenset({("route", "/metrics")}))
+        assert key in samples
+
+    def test_legacy_routes_carry_deprecation_header(self, server):
+        status, headers, _ = _request(server.base_url, "GET", "/healthz")
+        assert status == 200
+        assert headers.get("Deprecation") == "true"
+        status, headers, _ = _request(
+            server.base_url, "GET", "/v1/healthz")
+        assert status == 200
+        assert "Deprecation" not in headers
+
+    def test_error_envelope_carries_api_version(self, server):
+        status, headers, doc = _request(
+            server.base_url, "GET", "/jobs/j-missing")
+        assert status == 404
+        assert doc["api_version"] == API_VERSION
+        assert doc["error"]["code"] == "not_found"
+        assert headers.get("Deprecation") == "true"
+
+    def test_healthz_reports_occupancy(self, server):
+        status, _, doc = _request(server.base_url, "GET", "/v1/healthz")
+        assert status == 200
+        assert doc["api_version"] == API_VERSION
+        assert doc["queue_depth"] == 0
+        assert "entries" in doc["warm"]
+        assert "entries" in doc["cache"]
+
+    def test_otlp_format_and_unknown_format(self, server):
+        status, _, doc = _request(
+            server.base_url, "GET", "/v1/metrics?format=otlp")
+        assert status == 200
+        scope = doc["resourceMetrics"][0]["scopeMetrics"][0]
+        names = {m["name"] for m in scope["metrics"]}
+        assert "repro_http_requests_total" in names
+        status, _, doc = _request(
+            server.base_url, "GET", "/v1/metrics?format=csv")
+        assert status == 400
+        assert doc["error"]["code"] == "bad_request"
+
+    def test_metrics_rejects_non_get(self, server):
+        status, _, doc = _request(server.base_url, "POST", "/v1/metrics")
+        assert status == 405
+        assert doc["error"]["code"] == "method_not_allowed"
+
+    def test_cache_hit_ratio_rises_after_cached_resubmit(
+        self, server, wire_problem,
+    ):
+        body = _submission(wire_problem)
+        status, _, first = _request(
+            server.base_url, "POST", "/v1/jobs?wait=1", body)
+        assert status == 200 and first["state"] == "done"
+        status, _, hit = _request(
+            server.base_url, "POST", "/v1/jobs", body)
+        assert status == 200 and hit["cached"] is True
+        _, _, raw = _request(server.base_url, "GET", "/v1/metrics")
+        _, samples = parse_prometheus_text(raw.decode("utf-8"))
+        assert samples[
+            ("repro_serve_cache_hit_ratio", frozenset())] > 0.0
+        assert samples[
+            ("repro_serve_cache_entries", frozenset())] >= 1.0
+        # The bus-side serve counters ride along in the merged scrape.
+        assert samples[
+            ("repro_serve_jobs_total", frozenset({("state", "done")}))
+        ] >= 1.0
+
+    def test_concurrent_scrapes_while_solving(self, server, wire_problem):
+        body = _submission(wire_problem,
+                           config={"n_iter": 40, "matcher": "approx"})
+        status, _, job = _request(
+            server.base_url, "POST", "/v1/jobs", body)
+        assert status in (200, 202)
+
+        failures = []
+
+        def scrape():
+            for _ in range(5):
+                try:
+                    code, _, raw = _request(
+                        server.base_url, "GET", "/v1/metrics")
+                    assert code == 200
+                    parse_prometheus_text(raw.decode("utf-8"))
+                except Exception as exc:  # noqa: BLE001 - collected
+                    failures.append(exc)
+
+        threads = [threading.Thread(target=scrape) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        status, _, done = _request(
+            server.base_url, "POST", "/v1/jobs?wait=1",
+            _submission(wire_problem,
+                        config={"n_iter": 40, "matcher": "approx"}))
+        assert status == 200 and done["state"] == "done"
+
+
+class TestTelemetryDisabled:
+    def test_scrape_still_answers_bus_registry_only(self, wire_problem):
+        cfg = ServeConfig(port=0, workers=1, telemetry=False)
+        with serve_in_thread(cfg) as srv:
+            assert srv.telemetry is None
+            _request(srv.base_url, "GET", "/v1/healthz")
+            status, headers, raw = _request(
+                srv.base_url, "GET", "/v1/metrics")
+            assert status == 200
+            assert headers["Content-Type"].startswith("text/plain")
+            text = raw.decode("utf-8")
+            assert "repro_http_requests_total" not in text
+
+    def test_disabled_server_leaves_bus_inactive(self):
+        cfg = ServeConfig(port=0, workers=0, telemetry=False)
+        was_active = get_bus().active
+        with serve_in_thread(cfg):
+            assert get_bus().active == was_active
+
+
+# --------------------------------------------------------------------
+# drift guards: dashboards and documentation
+# --------------------------------------------------------------------
+
+class TestDashboardsDrift:
+    def test_committed_dashboards_match_generated(self):
+        rendered = render_dashboards()
+        assert tuple(rendered) == DASHBOARD_NAMES
+        for name, text in rendered.items():
+            path = REPO / "dashboards" / name
+            assert path.exists(), f"dashboards/{name} is not committed"
+            assert path.read_text(encoding="utf-8") == text, (
+                f"dashboards/{name} drifted from the generated output — "
+                f"run: python -m repro.observe.dashboards dashboards/"
+            )
+
+    def test_no_stray_dashboard_files(self):
+        on_disk = {
+            p.name for p in (REPO / "dashboards").glob("*.json")
+        }
+        assert on_disk == set(DASHBOARD_NAMES)
+
+    def test_panel_queries_reference_live_metric_names(self):
+        known = {
+            value
+            for name, value in vars(telemetry_mod).items()
+            if name.startswith("METRIC_")
+        }
+        known |= {
+            "repro_serve_jobs_total", "repro_serve_cache_hits_total",
+            "repro_serve_cache_insertions_total",
+        }
+        for name, text in render_dashboards().items():
+            doc = json.loads(text)
+            for panel in doc["panels"]:
+                for target in panel["targets"]:
+                    expr = target["expr"]
+                    assert any(metric in expr for metric in known), (
+                        f"{name}: panel {panel['title']!r} query "
+                        f"{expr!r} uses no known metric"
+                    )
+
+    def test_bus_side_names_match_serve_emitters(self):
+        # dashboards.py hard-codes three bus-side counter names; they
+        # must still be the strings the serving layer emits.
+        source = "".join(
+            p.read_text(encoding="utf-8")
+            for p in (REPO / "src" / "repro" / "serve").glob("*.py")
+        )
+        for name in ("repro_serve_jobs_total",
+                     "repro_serve_cache_hits_total",
+                     "repro_serve_cache_insertions_total"):
+            assert name in source
+
+
+class TestMetricConstantsDocumented:
+    def test_every_metric_constant_in_observability_doc(self):
+        doc = (REPO / "docs" / "observability.md").read_text(
+            encoding="utf-8")
+        for name, value in sorted(vars(telemetry_mod).items()):
+            if name.startswith("METRIC_"):
+                assert f"`{value}`" in doc, (
+                    f"docs/observability.md does not document {value!r} "
+                    f"({name})"
+                )
+
+    def test_dashboard_files_catalogued(self):
+        doc = (REPO / "docs" / "dashboards.md").read_text(
+            encoding="utf-8")
+        for name in DASHBOARD_NAMES:
+            assert f"`{name}`" in doc, (
+                f"docs/dashboards.md does not catalogue {name}"
+            )
