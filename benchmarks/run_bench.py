@@ -4,19 +4,20 @@
 (``BENCH_3.json``), the matching-kernel backend comparison
 (``BENCH_4.json``), the resilience/supervision overhead group
 (``BENCH_5.json``), the HTTP serving latency group (``BENCH_6.json``),
-the incremental-realignment group (``BENCH_7.json``), and the
-telemetry-exporter group (``BENCH_8.json``) at the repo root.
+the incremental-realignment group (``BENCH_7.json``), the
+telemetry-exporter group (``BENCH_8.json``), and the durable-store
+group (``BENCH_10.json``) at the repo root.
 
 Usage (from the repo root)::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--out BENCH_2.json]
         [--repeats 5] [--scale 0.01] [--skip-process]
         [--group all|kernels-backend|multilevel|matching|resilience|
-                 serve|incremental|export]
+                 serve|incremental|export|durability]
         [--out3 BENCH_3.json] [--multilevel-n 50000]
         [--out4 BENCH_4.json] [--out5 BENCH_5.json]
         [--out6 BENCH_6.json] [--out7 BENCH_7.json]
-        [--out8 BENCH_8.json] [--smoke]
+        [--out8 BENCH_8.json] [--out10 BENCH_10.json] [--smoke]
 
 The file captures *this machine's* numbers — machine info (platform,
 CPU count, library versions) rides along so readers can judge whether a
@@ -812,6 +813,208 @@ def export_benchmarks(repeats: int, smoke: bool) -> tuple[list[dict], dict]:
     return rows, instance
 
 
+def durability_benchmarks(
+    repeats: int, smoke: bool
+) -> tuple[list[dict], dict]:
+    """Journal overhead and restart-recovery latency (``BENCH_10.json``).
+
+    The overhead pair runs the same batch of fresh-cache-key
+    submissions through a memory-store worker pool and through a
+    sqlite-store pool journaling every transition to disk —
+    ``overhead_frac`` on the sqlite row is the write-ahead-journal tax
+    (acceptance target: < 3%).  The recovery rows time
+    ``SqliteJobStore`` startup replay against journals holding D
+    queued jobs (workers=0, so the timing is pure replay plus quota
+    restoration) and against a journal of N terminal jobs (replay plus
+    result-cache repopulation).
+    """
+    import shutil
+    import tempfile
+
+    from repro.generators import powerlaw_alignment_instance
+    from repro.serve import ServeConfig, SqliteJobStore, make_store
+    from repro.serve import problem_to_wire
+
+    # The journal tax is paid per job, not per iteration (one insert
+    # carrying the problem doc, a handful of transition commits, one
+    # result write), so the *fraction* depends on how long the solve
+    # runs: measure on a job long enough to be representative of the
+    # paper's instances (which solve for seconds), not a toy that
+    # finishes in the time one journal write takes.
+    n = 100 if smoke else 1_000
+    n_iter = 4 if smoke else 300
+    batch = 3 if smoke else 4
+    reps = max(2, repeats // 2) if smoke else max(3, repeats)
+    inst = powerlaw_alignment_instance(
+        n=n, expected_degree=4.0, p_perturb=8.0 / n, seed=11,
+        name="durability-bench",
+    )
+    wire = problem_to_wire(inst.problem)
+    seeds = iter(range(1_000_000))
+    print(f"  durability instance: n={n}, "
+          f"|E_L|={inst.problem.n_edges_l}, n_iter={n_iter}, "
+          f"batch={batch}")
+
+    def fresh_doc() -> dict:
+        # A fresh seed gives a fresh cache key: every submission pays
+        # the full solve (and, on sqlite, the full journal).
+        return {"method": "bp",
+                "config": {"n_iter": n_iter, "matcher": "approx",
+                           "seed": next(seeds)},
+                "problem": wire}
+
+    def submit_batch(store):
+        jobs = [store.submit(fresh_doc(), "default")
+                for _ in range(batch)]
+        for job in jobs:
+            if not job.wait_terminal(600.0) or job.state != "done":
+                raise AssertionError(
+                    f"durability bench job ended {job.state}"
+                )
+
+    class _TimedStore(SqliteJobStore):
+        """A sqlite store accumulating time spent in journal writes.
+
+        A/B wall-clock comparison against the memory store cannot see
+        a few-percent tax under this container's timing drift, so the
+        tax is attributed directly: every ``_persist_*`` call is timed
+        and summed.  This is *conservative* — submit-side writes
+        overlap with a worker's solve, so the wall-clock impact is at
+        most what is measured here.
+        """
+
+        persist_s = 0.0
+
+        def _persist_submit(self, job):
+            t0 = time.perf_counter()
+            super()._persist_submit(job)
+            _TimedStore.persist_s += time.perf_counter() - t0
+
+        def _persist_transition(self, job):
+            t0 = time.perf_counter()
+            super()._persist_transition(job)
+            _TimedStore.persist_s += time.perf_counter() - t0
+
+    rows = []
+    medians: dict[str, float] = {}
+    dirs: list[str] = []
+    try:
+        dirs.append(tempfile.mkdtemp(prefix="repro-bench-store-"))
+        stores = {
+            "memory": make_store(ServeConfig(
+                port=0, workers=1, max_queue=64,
+                max_active_per_tenant=64)),
+            "sqlite": _TimedStore(ServeConfig(
+                port=0, workers=1, max_queue=64,
+                max_active_per_tenant=64, store="sqlite",
+                store_path=dirs[-1])),
+        }
+        mode_samples: dict[str, list[float]] = {m: [] for m in stores}
+        try:
+            for mode, store in stores.items():
+                submit_batch(store)  # warmup
+            _TimedStore.persist_s = 0.0
+            for _ in range(reps):
+                for mode, store in stores.items():
+                    t0 = time.perf_counter()
+                    submit_batch(store)
+                    mode_samples[mode].append(time.perf_counter() - t0)
+        finally:
+            for store in stores.values():
+                store.shutdown()
+        overhead = _TimedStore.persist_s / sum(mode_samples["sqlite"])
+        for mode in ("memory", "sqlite"):
+            medians[mode] = summarize(mode_samples[mode])["median_s"]
+            extra = {"n": n, "n_iter": n_iter, "batch": batch,
+                     "store": mode}
+            if mode == "sqlite":
+                extra["overhead_frac"] = overhead
+                extra["persist_ms_per_job"] = (
+                    _TimedStore.persist_s / (reps * batch) * 1e3
+                )
+            rows.append({
+                "group": "durability", "name": f"submit_batch_{mode}",
+                **summarize(mode_samples[mode]), "extra": extra,
+            })
+            print(f"  durability/submit_batch_{mode}: "
+                  f"{medians[mode]:.3f} s")
+        print(f"  journal overhead: {overhead * 100:+.2f}% of service "
+              f"time ({rows[-1]['extra']['persist_ms_per_job']:.1f} "
+              f"ms/job; contract: < 3%)")
+
+        # ---- recovery replay vs queue depth --------------------------
+        depths = (4, 16) if smoke else (8, 32, 128)
+        for depth in depths:
+            dirs.append(tempfile.mkdtemp(prefix="repro-bench-store-"))
+            cfg = ServeConfig(port=0, workers=0, max_queue=depth + 1,
+                              max_active_per_tenant=depth + 1,
+                              store="sqlite", store_path=dirs[-1])
+            store = SqliteJobStore(cfg)
+            for _ in range(depth):
+                store.submit(fresh_doc(), "default")
+            store.shutdown()  # sqlite shutdown keeps queued jobs
+
+            def reopen(cfg=cfg, depth=depth):
+                s = SqliteJobStore(cfg)
+                if s.recovered["queued"] != depth:
+                    raise AssertionError(
+                        f"expected {depth} requeued jobs, got "
+                        f"{s.recovered}"
+                    )
+                s.shutdown()
+
+            samples = timeit(reopen, reps)
+            rows.append({
+                "group": "durability", "name": f"recover_queued_{depth}",
+                **summarize(samples),
+                "extra": {"depth": depth, "outcome": "queued"},
+            })
+            print(f"  durability/recover_queued_{depth}: "
+                  f"{rows[-1]['median_s'] * 1e3:.1f} ms")
+
+        # ---- recovery of terminal jobs (cache repopulation) ----------
+        count = 4 if smoke else 12
+        dirs.append(tempfile.mkdtemp(prefix="repro-bench-store-"))
+        run_cfg = ServeConfig(port=0, workers=1, max_queue=count + 1,
+                              max_active_per_tenant=count + 1,
+                              store="sqlite", store_path=dirs[-1])
+        store = SqliteJobStore(run_cfg)
+        try:
+            for _ in range(count):
+                job = store.submit(fresh_doc(), "default")
+                if not job.wait_terminal(600.0):
+                    raise AssertionError("terminal-recovery seed hung")
+        finally:
+            store.shutdown()
+        idle_cfg = ServeConfig(port=0, workers=0, store="sqlite",
+                               store_path=dirs[-1])
+
+        def reopen_terminal():
+            s = SqliteJobStore(idle_cfg)
+            if s.recovered["terminal"] != count:
+                raise AssertionError(
+                    f"expected {count} terminal jobs, got {s.recovered}"
+                )
+            s.shutdown()
+
+        samples = timeit(reopen_terminal, reps)
+        rows.append({
+            "group": "durability", "name": f"recover_terminal_{count}",
+            **summarize(samples),
+            "extra": {"depth": count, "outcome": "terminal"},
+        })
+        print(f"  durability/recover_terminal_{count}: "
+              f"{rows[-1]['median_s'] * 1e3:.1f} ms")
+    finally:
+        for directory in dirs:
+            shutil.rmtree(directory, ignore_errors=True)
+    instance = {
+        "family": "powerlaw", "n": n, "n_iter": n_iter, "batch": batch,
+        "depths": list(depths), "terminal_count": count, "smoke": smoke,
+    }
+    return rows, instance
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--out", default=str(
@@ -825,7 +1028,7 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--group", default="all",
                     choices=["all", "kernels-backend", "multilevel",
                              "matching", "resilience", "serve",
-                             "incremental", "export"])
+                             "incremental", "export", "durability"])
     ap.add_argument("--multilevel-n", type=int, default=50_000,
                     help="synthetic size for the multilevel group")
     ap.add_argument("--multilevel-repeats", type=int, default=1,
@@ -840,6 +1043,8 @@ def main(argv: list[str] | None = None) -> int:
         Path(__file__).resolve().parent.parent / "BENCH_7.json"))
     ap.add_argument("--out8", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_8.json"))
+    ap.add_argument("--out10", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_10.json"))
     ap.add_argument("--smoke", action="store_true",
                     help="shrink the matching group to a CI-size shape "
                          "check (numbers are not performance claims)")
@@ -954,6 +1159,23 @@ def main(argv: list[str] | None = None) -> int:
         Path(args.out8).write_text(json.dumps(doc8, indent=2) + "\n")
         print(f"wrote {args.out8} ({len(rows8)} benchmarks)")
         for warning in doc8["warnings"]:
+            print(f"  WARNING: {warning}")
+
+    if args.group in ("all", "durability"):
+        print(f"running durability benchmarks (smoke={args.smoke}) ...")
+        rows10, instance10 = durability_benchmarks(args.repeats,
+                                                   args.smoke)
+        doc10 = {
+            "schema": 1,
+            "generated_by": "benchmarks/run_bench.py --group durability",
+            "instance": instance10,
+            "machine": machine_info(),
+            "warnings": bench_warnings(1),
+            "benchmarks": rows10,
+        }
+        Path(args.out10).write_text(json.dumps(doc10, indent=2) + "\n")
+        print(f"wrote {args.out10} ({len(rows10)} benchmarks)")
+        for warning in doc10["warnings"]:
             print(f"  WARNING: {warning}")
     return 0
 

@@ -8,11 +8,15 @@ Usage::
     python -m repro.cli headline
     python -m repro.cli solve path/to/problem_dir --method bp
     python -m repro.cli realign path/to/problem_dir --delta edits.json
-    python -m repro.cli serve --port 8080 --workers 4
+    python -m repro.cli serve --port 8080 --workers 4 --store-path runs/jobs
+    python -m repro.cli jobs ls runs/jobs
+    python -m repro.cli jobs gc runs/jobs --older-than 3600
 
 Every command prints the paper-style rows/series as plain text, except
 ``serve``, which runs the alignment-as-a-service HTTP job server
-(docs/serving.md) until interrupted.
+(docs/serving.md) until SIGTERM/Ctrl-C triggers a graceful drain, and
+``jobs``, which inspects or garbage-collects a ``--store-path``
+persistent job journal.
 """
 
 from __future__ import annotations
@@ -357,6 +361,7 @@ def _cmd_realign(args: argparse.Namespace) -> None:
 
 def _cmd_serve(args: argparse.Namespace) -> None:
     import asyncio
+    import signal
 
     from repro.serve import AlignmentServer, ServeConfig
 
@@ -369,15 +374,38 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         max_active_per_tenant=args.max_active_per_tenant,
         checkpoint_every=args.checkpoint_every,
         telemetry=args.telemetry,
+        store="sqlite" if args.store_path else "memory",
+        store_path=args.store_path or "",
+        drain_timeout_s=args.drain_timeout,
     )
     server = AlignmentServer(config)
 
     async def run() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                # Platforms without loop signal support (Windows) fall
+                # back to the KeyboardInterrupt path below.
+                pass
         await server.start()
+        durable = f"; journal: {args.store_path}" if args.store_path else ""
         print(f"serving alignment jobs on {server.base_url} "
-              f"({config.workers} worker(s); API: docs/serving.md; "
-              f"Ctrl-C stops)")
-        await server.serve_forever()
+              f"({config.workers} worker(s){durable}; "
+              f"API: docs/serving.md; SIGTERM/Ctrl-C drains, then stops)")
+        await stop.wait()
+        print("drain: no longer admitting jobs; waiting for in-flight "
+              "work to settle", file=sys.stderr)
+        settled = await loop.run_in_executor(
+            None, server.store.drain, config.drain_timeout_s
+        )
+        if not settled:
+            print(f"drain: work still running after "
+                  f"{config.drain_timeout_s:g}s budget; stopping anyway",
+                  file=sys.stderr)
+        await server.stop()
 
     try:
         asyncio.run(run())
@@ -385,6 +413,32 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         pass
     finally:
         server.store.shutdown()
+
+
+def _cmd_jobs(args: argparse.Namespace) -> None:
+    from repro.bench.report import format_table
+    from repro.serve import gc_jobs, list_jobs
+
+    if args.jobs_command == "gc":
+        deleted = gc_jobs(args.store_path, older_than_s=args.older_than)
+        print(f"deleted {deleted} terminal job(s) from {args.store_path}")
+        return
+    rows = list_jobs(args.store_path)
+    if not rows:
+        print(f"no journaled jobs in {args.store_path}")
+        return
+    print(
+        format_table(
+            ["id", "state", "tenant", "method", "created", "finished"],
+            [
+                [r["id"], r["state"], r["tenant"], r["method"],
+                 f"{r['created']:.3f}",
+                 "-" if r["finished"] is None else f"{r['finished']:.3f}"]
+                for r in rows
+            ],
+            title=f"Journaled jobs in {args.store_path}",
+        )
+    )
 
 
 _GENERATE_FAMILIES = ("synthetic", "dmela-scere", "homo-musm",
@@ -492,10 +546,12 @@ def build_parser() -> argparse.ArgumentParser:
              "gauges, histograms) to this file",
     )
     obs.add_argument(
-        "--metrics-format", choices=["json", "prometheus", "otlp"],
+        "--metrics-format", choices=["json", "prometheus", "otlp", "text"],
         default="json", dest="metrics_format",
         help="--metrics-out rendering: raw snapshot rows (json), "
-             "Prometheus text exposition, or an OTLP-JSON document",
+             "Prometheus text exposition, an OTLP-JSON document, or a "
+             "human-readable summary with p50/p95/p99 histogram "
+             "quantiles (text)",
     )
     obs.add_argument(
         "--live", action="store_true",
@@ -676,7 +732,36 @@ def build_parser() -> argparse.ArgumentParser:
                    default=True,
                    help="serve per-request metrics on GET /v1/metrics "
                         "(--no-telemetry disables recording)")
+    p.add_argument("--store-path", default=None, dest="store_path",
+                   metavar="DIR",
+                   help="persist jobs to a write-ahead journal in this "
+                        "directory (selects the sqlite store; restarts "
+                        "recover terminal results and requeue "
+                        "interrupted jobs — docs/serving.md)")
+    p.add_argument("--drain-timeout", type=float, default=10.0,
+                   dest="drain_timeout", metavar="SECONDS",
+                   help="how long SIGTERM/Ctrl-C waits for in-flight "
+                        "jobs before the process exits")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "jobs",
+        help="inspect or collect a persistent job store "
+             "(serve --store-path)",
+    )
+    jobs_sub = p.add_subparsers(dest="jobs_command", required=True)
+    pj = jobs_sub.add_parser("ls", help="list journaled jobs")
+    pj.add_argument("store_path", help="store directory (--store-path)")
+    pj.set_defaults(func=_cmd_jobs)
+    pj = jobs_sub.add_parser(
+        "gc", help="delete terminal jobs (queued/interrupted jobs stay)"
+    )
+    pj.add_argument("store_path", help="store directory (--store-path)")
+    pj.add_argument("--older-than", type=float, default=0.0,
+                    dest="older_than", metavar="SECONDS",
+                    help="only collect jobs terminal for at least this "
+                         "long (default: all terminal jobs)")
+    pj.set_defaults(func=_cmd_jobs)
 
     p = sub.add_parser(
         "generate", help="write a problem instance as an SMAT directory"
@@ -738,7 +823,9 @@ def _teardown_observability(args: argparse.Namespace, sinks: list) -> None:
     """Detach sinks and write the metrics snapshot if requested."""
     import json
 
-    from repro.observe import get_bus, otlp_json, prometheus_text
+    from repro.observe import (
+        get_bus, otlp_json, prometheus_text, text_summary,
+    )
 
     bus = get_bus()
     for sink in sinks:
@@ -750,6 +837,8 @@ def _teardown_observability(args: argparse.Namespace, sinks: list) -> None:
             text = prometheus_text(bus.metrics)
         elif fmt == "otlp":
             text = json.dumps(otlp_json(bus.metrics), indent=2)
+        elif fmt == "text":
+            text = text_summary(bus.metrics)
         else:
             text = json.dumps(bus.metrics.snapshot(), indent=2)
         with open(args.metrics_out, "w", encoding="utf-8") as fh:

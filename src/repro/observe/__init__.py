@@ -44,9 +44,11 @@ from repro.observe.events import EVENT_TYPES, Event, validate_event
 from repro.observe.export import (
     OTLPExporter,
     PrometheusExporter,
+    histogram_quantile,
     merged_rows,
     otlp_json,
     prometheus_text,
+    text_summary,
 )
 from repro.observe.metrics import (
     Counter,
@@ -91,6 +93,7 @@ __all__ = [
     "SocketCounters",
     "capture",
     "get_bus",
+    "histogram_quantile",
     "history_from_events",
     "history_from_jsonl",
     "make_sink",
@@ -101,6 +104,7 @@ __all__ = [
     "render_dashboards",
     "set_bus",
     "socket_counters_from_events",
+    "text_summary",
     "validate_event",
     "write_dashboards",
 ]

@@ -50,9 +50,11 @@ from repro.observe.metrics import MetricsRegistry
 __all__ = [
     "OTLPExporter",
     "PrometheusExporter",
+    "histogram_quantile",
     "merged_rows",
     "otlp_json",
     "prometheus_text",
+    "text_summary",
 ]
 
 
@@ -171,6 +173,102 @@ def prometheus_text(source: Any, *extra_sources: Any) -> str:
                 f"{name}_count{_label_str(labels)} {row['count']}"
             )
     return "\n".join(out) + "\n" if out else ""
+
+
+def histogram_quantile(row: Mapping[str, Any], q: float) -> float | None:
+    """Estimate a quantile from one histogram snapshot row.
+
+    The estimate interpolates linearly inside the bucket holding the
+    target rank — the same model ``histogram_quantile()`` uses in
+    PromQL — with two refinements the snapshot rows make possible: the
+    first bucket's lower edge and the overflow bucket's upper edge are
+    taken from the recorded ``min``/``max`` observations, so estimates
+    never extrapolate outside the observed range.
+
+    Args:
+        row: A histogram snapshot row (``metric_kind == "histogram"``)
+            as produced by
+            :meth:`~repro.observe.metrics.MetricsRegistry.snapshot`.
+        q: The quantile in ``[0, 1]`` (``0.5`` for the median).
+
+    Returns:
+        The estimated value, or ``None`` for an empty histogram.
+
+    Raises:
+        ObservabilityError: If ``q`` is outside ``[0, 1]`` or ``row``
+            is not a histogram row.
+    """
+    if row.get("metric_kind") != "histogram":
+        raise ObservabilityError(
+            f"histogram_quantile needs a histogram row, got "
+            f"{row.get('metric_kind')!r}"
+        )
+    if not 0.0 <= q <= 1.0:
+        raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
+    total = row["count"]
+    if not total:
+        return None
+    lo_edge = row["min"] if row["min"] is not None else 0.0
+    hi_edge = row["max"] if row["max"] is not None else math.inf
+    bounds = list(row["buckets"])
+    target = q * total
+    cumulative = 0.0
+    for i, count in enumerate(row["bucket_counts"]):
+        if not count:
+            cumulative += count
+            continue
+        lo = bounds[i - 1] if i > 0 else lo_edge
+        hi = bounds[i] if i < len(bounds) else hi_edge
+        lo = max(min(lo, hi_edge), lo_edge)
+        hi = max(min(hi, hi_edge), lo_edge)
+        if cumulative + count >= target:
+            frac = (target - cumulative) / count
+            return lo + (hi - lo) * max(0.0, min(1.0, frac))
+        cumulative += count
+    return hi_edge if math.isfinite(hi_edge) else bounds[-1]
+
+
+def text_summary(source: Any, *extra_sources: Any) -> str:
+    """Render snapshot rows as a human-readable terminal summary.
+
+    The operator-facing sibling of :func:`prometheus_text` (the
+    ``--metrics-format text`` CLI path): counters and gauges print one
+    aligned ``name{labels}  value`` line each, and histograms collapse
+    into per-label-set quantile summaries — ``count``, ``mean``, and
+    interpolated ``p50``/``p95``/``p99`` (:func:`histogram_quantile`) —
+    instead of raw bucket series, so per-route latency tails are
+    readable at a glance.
+
+    Args:
+        source: A :class:`~repro.observe.metrics.MetricsRegistry` or an
+            iterable of snapshot rows.
+        *extra_sources: Additional registries/row lists merged in.
+
+    Returns:
+        The summary text; empty registries render to ``""``.
+    """
+    rows = merged_rows(source, *extra_sources)
+    lines: list[str] = []
+    for row in rows:
+        name = row["metric"]
+        label_block = _label_str(row["labels"])
+        if row["metric_kind"] != "histogram":
+            lines.append(
+                f"{name}{label_block}  {_format_value(row['value'])}"
+            )
+            continue
+        count = row["count"]
+        if count:
+            mean = row["value"] / count
+            quants = "  ".join(
+                f"p{int(q * 100)}={_format_value(histogram_quantile(row, q))}"
+                for q in (0.5, 0.95, 0.99)
+            )
+            detail = f"count={count}  mean={_format_value(mean)}  {quants}"
+        else:
+            detail = "count=0"
+        lines.append(f"{name}{label_block}  {detail}")
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 def _otlp_attributes(labels: Mapping[str, str]) -> list[dict[str, Any]]:

@@ -28,6 +28,7 @@ means the historical fast paths run unchanged.
 
 from repro.resilience.checkpoint import (
     CheckpointStore,
+    FileCheckpointStore,
     SolverCheckpoint,
     get_checkpoint_store,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "CircuitBreaker",
     "FaultPlan",
     "FaultSpec",
+    "FileCheckpointStore",
     "MachineFaults",
     "ResilienceConfig",
     "SolverCheckpoint",

@@ -31,8 +31,13 @@ the bit-identity contract.
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
+import re
 import threading
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 import numpy as np
@@ -41,6 +46,7 @@ from repro.observe import get_bus
 
 __all__ = [
     "CheckpointStore",
+    "FileCheckpointStore",
     "SolverCheckpoint",
     "get_checkpoint_store",
 ]
@@ -130,6 +136,78 @@ class CheckpointStore:
     def __len__(self) -> int:
         with self._lock:
             return len(self._snapshots)
+
+
+class FileCheckpointStore(CheckpointStore):
+    """A :class:`CheckpointStore` that also persists snapshots to disk.
+
+    Snapshots live as one pickle file per key under ``directory`` and
+    survive process restarts — the durability layer the persistent job
+    store (:mod:`repro.serve.store`) resumes interrupted solves from.
+    Writes are atomic (write-to-temp, ``fsync``, rename), so a process
+    killed mid-save leaves the previous snapshot intact, never a torn
+    file.  The in-memory fast path of the base class is kept: a resume
+    in the same process never touches disk.
+
+    Args:
+        directory: Where snapshot files live; created if missing.
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        super().__init__()
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        """The snapshot file for ``key`` (sanitized, collision-proof)."""
+        slug = re.sub(r"[^\w.-]", "_", key)[:80]
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:12]
+        return self._dir / f"{slug}-{digest}.ckpt"
+
+    def save(self, key: str, checkpoint: SolverCheckpoint) -> None:
+        """Store ``checkpoint`` in memory and atomically on disk."""
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "wb") as fh:
+            pickle.dump(checkpoint, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        super().save(key, checkpoint)
+
+    def load(self, key: str) -> SolverCheckpoint | None:
+        """The latest snapshot under ``key``, reading disk on a miss."""
+        hit = super().load(key)
+        if hit is not None:
+            return hit
+        path = self._path(key)
+        if not path.is_file():
+            return None
+        try:
+            with open(path, "rb") as fh:
+                checkpoint = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            return None
+        with self._lock:
+            self._snapshots[key] = checkpoint
+        return checkpoint
+
+    def discard(self, key: str) -> None:
+        """Forget ``key`` in memory and remove its snapshot file."""
+        super().discard(key)
+        try:
+            self._path(key).unlink()
+        except OSError:
+            pass
+
+    def clear(self) -> None:
+        """Forget every snapshot, in memory and on disk."""
+        super().clear()
+        for path in self._dir.glob("*.ckpt"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
 
 #: The process-default store supervised retries warm-resume from.

@@ -24,11 +24,19 @@ are executed by the docs-consistency tests).  Quick start::
 
 or, from a shell: ``python -m repro.cli serve --port 8080``.
 
+Jobs can be made **durable**: ``ServeConfig(store="sqlite",
+store_path=...)`` selects the write-ahead-journaled persistent store
+(:mod:`repro.serve.store`), which replays its journal on startup —
+terminal results serve from disk, queued jobs re-enter the queue, and
+interrupted solves resume bit-identically from their last checkpoint
+(docs/serving.md, "Durability & operations").
+
 Module map: :mod:`~repro.serve.wire` (JSON schemas, hashing, the error
 envelope), :mod:`~repro.serve.cache` (content-addressed LRU),
 :mod:`~repro.serve.quotas` (admission control), :mod:`~repro.serve.jobs`
-(job store + worker pool), :mod:`~repro.serve.telemetry` (the request
-metrics registry), :mod:`~repro.serve.server` (the HTTP front end),
+(job store + worker pool), :mod:`~repro.serve.store` (the persistent
+SQLite job store), :mod:`~repro.serve.telemetry` (the request metrics
+registry), :mod:`~repro.serve.server` (the HTTP front end),
 :mod:`~repro.serve.config` (:class:`ServeConfig`).
 """
 
@@ -43,6 +51,7 @@ from repro.serve.jobs import (
 )
 from repro.serve.quotas import AdmissionError, TenantQuotas
 from repro.serve.server import AlignmentServer, serve_in_thread
+from repro.serve.store import SqliteJobStore, gc_jobs, list_jobs, make_store
 from repro.serve.telemetry import ServeTelemetry, route_template
 from repro.serve.wire import (
     API_VERSION,
@@ -64,11 +73,15 @@ __all__ = [
     "ResultCache",
     "ServeConfig",
     "ServeTelemetry",
+    "SqliteJobStore",
     "TERMINAL_STATES",
     "TenantQuotas",
     "WarmUnavailableError",
     "cache_key",
     "error_envelope",
+    "gc_jobs",
+    "list_jobs",
+    "make_store",
     "problem_digest",
     "problem_from_wire",
     "problem_to_wire",

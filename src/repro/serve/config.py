@@ -55,6 +55,17 @@ class ServeConfig(ConfigBase):
             server runs (``GET /v1/metrics``).  Off disables per-request
             metric recording; the endpoint then exposes only whatever
             the observe bus already collects.
+        store: Job-store backend: ``"memory"`` (the historical
+            in-process dict; every job dies with the process) or
+            ``"sqlite"`` (the write-ahead-journaled persistent store of
+            :mod:`repro.serve.store` — jobs survive restarts and crash
+            recovery replays the journal).
+        store_path: Directory holding the persistent store's journal
+            database and checkpoint files; required when
+            ``store="sqlite"``.
+        drain_timeout_s: Wall-clock budget graceful drain (SIGTERM /
+            SIGINT under ``repro.cli serve``) gives in-flight jobs to
+            settle before the process exits.
         seed: Accepted on every public config (round-tripped, recorded
             in provenance); the server itself is deterministic and does
             not consume it.
@@ -73,6 +84,9 @@ class ServeConfig(ConfigBase):
     timeout_s: float = float("inf")
     wait_timeout_s: float = 60.0
     telemetry: bool = True
+    store: str = "memory"
+    store_path: str = ""
+    drain_timeout_s: float = 10.0
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -87,3 +101,13 @@ class ServeConfig(ConfigBase):
             raise ConfigurationError("timeout_s must be positive")
         if self.wait_timeout_s <= 0:
             raise ConfigurationError("wait_timeout_s must be positive")
+        if self.store not in ("memory", "sqlite"):
+            raise ConfigurationError(
+                f"store must be 'memory' or 'sqlite', got {self.store!r}"
+            )
+        if self.store == "sqlite" and not self.store_path:
+            raise ConfigurationError(
+                "store='sqlite' requires a store_path directory"
+            )
+        if self.drain_timeout_s <= 0:
+            raise ConfigurationError("drain_timeout_s must be positive")

@@ -37,6 +37,23 @@ child's — so a warm solve and a cold solve of the same problem never
 answer from each other's cache entry, and both the status document and
 the result payload carry ``warm_from`` / ``parent_digest`` so warm
 results stay distinguishable.
+
+Three operational layers ride on top of the lifecycle:
+
+* **persistence hooks** — every lifecycle transition funnels through
+  ``_persist_submit`` / ``_persist_transition``, no-ops here and
+  overridden by :class:`repro.serve.store.SqliteJobStore` to journal
+  the job to disk (``ServeConfig.store="sqlite"``), which is what makes
+  restart recovery possible;
+* **deadlines** — a submission may carry ``deadline_s`` (seconds from
+  admission); a queued job past its deadline fails without running, and
+  a running one is aborted cooperatively at its next progress event
+  (the error code is ``deadline_exceeded``);
+* **drain** — :meth:`JobStore.drain` stops admission (submissions
+  answer 503 ``draining``) and waits for in-flight work to settle, the
+  graceful half of SIGTERM handling.  :meth:`JobStore.retry_after`
+  turns an EWMA of observed service times into the ``Retry-After``
+  hint backpressure responses carry.
 """
 
 from __future__ import annotations
@@ -150,7 +167,8 @@ class Job:
                  config: dict[str, Any], problem: Any, digest: str,
                  key: str, warm_from: str | None = None,
                  parent_digest: str | None = None,
-                 warm_state: Any | None = None) -> None:
+                 warm_state: Any | None = None,
+                 deadline_s: float | None = None) -> None:
         self.id = job_id
         self.tenant = tenant
         self.method = method
@@ -161,9 +179,11 @@ class Job:
         self.warm_from = warm_from
         self.parent_digest = parent_digest
         self.warm_state = warm_state
+        self.deadline_s = deadline_s
         self.state = "queued"
         self.cached = False
         self.cancel_requested = False
+        self.recovered = False
         self.created_s = time.time()
         self.started_s: float | None = None
         self.finished_s: float | None = None
@@ -175,6 +195,13 @@ class Job:
         self._lock = threading.Lock()
         self._frames: list[dict[str, Any]] = []
         self._terminal = threading.Event()
+        self._finished = False
+        self._deadline_hit = False
+        # One-shot stash of the submission's raw wire problem so a
+        # journaling store can serialize it without rebuilding the wire
+        # form from the parsed arrays; cleared right after the submit
+        # journal write.
+        self._wire_problem: Any | None = None
 
     # -- progress frames ----------------------------------------------
     def add_frame(self, frame: dict[str, Any]) -> None:
@@ -191,6 +218,11 @@ class Job:
     def terminal(self) -> bool:
         """Whether the job reached ``done``/``failed``/``cancelled``."""
         return self._terminal.is_set()
+
+    def deadline_expired(self) -> bool:
+        """Whether the job's ``deadline_s`` budget has run out."""
+        return (self.deadline_s is not None
+                and time.time() - self.created_s > self.deadline_s)
 
     def wait_terminal(self, timeout: float | None = None) -> bool:
         """Block until terminal; ``False`` if ``timeout`` expired first."""
@@ -223,6 +255,7 @@ class Job:
                 "started": self.started_s,
                 "finished": self.finished_s,
                 "attempts": self.attempts,
+                "deadline_s": self.deadline_s,
                 "progress": {
                     "iterations": self.iterations,
                     "objective": _clean(self.last_objective),
@@ -233,6 +266,10 @@ class Job:
             return doc
 
 
+class _DeadlineExceeded(RuntimeError):
+    """Raised from the progress sink to abort a job past its deadline."""
+
+
 class _JobProgressSink:
     """Observe-bus sink keeping only the owning worker thread's events.
 
@@ -240,6 +277,11 @@ class _JobProgressSink:
     on :func:`threading.get_ident` of the thread that runs this job's
     solve (the serial supervision rung executes in the worker thread
     itself) attributes each event stream to exactly one job.
+
+    The sink is also the cooperative cancellation point for per-job
+    deadlines: ``write`` runs synchronously on the solver thread, so
+    raising :class:`_DeadlineExceeded` here unwinds the solve at the
+    next progress event (the solvers have no abort hook of their own).
     """
 
     def __init__(self, job: Job, thread_ident: int) -> None:
@@ -250,6 +292,15 @@ class _JobProgressSink:
         """Translate one bus event into a progress frame (or drop it)."""
         if threading.get_ident() != self._ident:
             return
+        if event.type == "iteration" and self._job.deadline_expired():
+            # Raising on the solver thread (bus sinks run synchronously)
+            # unwinds the solve; ``_run`` maps the failure to the
+            # ``deadline_exceeded`` error code via the flag.
+            self._job._deadline_hit = True
+            raise _DeadlineExceeded(
+                f"job {self._job.id} exceeded its deadline of "
+                f"{self._job.deadline_s:g}s"
+            )
         f = event.fields
         if event.type == "iteration":
             frame = {
@@ -283,11 +334,15 @@ def _execute_job_task(task: tuple) -> Any:
 
     Args:
         task: ``(problem, method, config, checkpoint_every, key,
-            warm_state, keep_state)``.  With checkpointing on (and a
-            method that supports it), the solve snapshots under ``key``
-            in the process-default store and ``resume=True``
-            warm-resumes from whatever an earlier crashed attempt left
-            there; a clean finish discards the key.  A ``warm_state``
+            ckpt_store, warm_state, keep_state)``.  With checkpointing
+            on (and a method that supports it), the solve snapshots
+            under ``key`` in ``ckpt_store`` (the job store's checkpoint
+            store — the process-default one, or a
+            :class:`~repro.resilience.FileCheckpointStore` under a
+            persistent job store) and ``resume=True`` warm-resumes from
+            whatever an earlier crashed attempt — or a crashed
+            *process*, for the file-backed store — left there; a clean
+            finish discards the key.  A ``warm_state``
             (:class:`~repro.incremental.WarmState`) instead seeds the
             solve incrementally via ``warm_from`` — the two resume
             mechanisms are mutually exclusive, and warm wins.
@@ -301,18 +356,17 @@ def _execute_job_task(task: tuple) -> Any:
         Exception: Whatever the solver raises — the supervisor owns the
             retry decision.
     """
-    problem, method, config, ckpt_every, ckpt_key, warm_state, keep = task
+    (problem, method, config, ckpt_every, ckpt_key, ckpt_store,
+     warm_state, keep) = task
     from repro.registry import align, get_solver
 
     kwargs: dict[str, Any] = {}
     if warm_state is not None:
         kwargs["warm_from"] = warm_state
     elif ckpt_every > 0 and get_solver(method).supports_checkpoint:
-        from repro.resilience import get_checkpoint_store
-
         kwargs = {
             "checkpoint_every": ckpt_every,
-            "checkpoint_store": get_checkpoint_store(),
+            "checkpoint_store": ckpt_store,
             "checkpoint_key": ckpt_key,
             "resume": True,
         }
@@ -320,9 +374,7 @@ def _execute_job_task(task: tuple) -> Any:
         kwargs["keep_state"] = True
     result = align(problem, method, config, **kwargs)
     if "checkpoint_every" in kwargs:
-        from repro.resilience import get_checkpoint_store
-
-        get_checkpoint_store().discard(ckpt_key)
+        ckpt_store.discard(ckpt_key)
     return result
 
 
@@ -344,11 +396,16 @@ class JobStore:
         self.quotas = TenantQuotas(config.max_queue,
                                    config.max_active_per_tenant)
         self.warm = _WarmStore(config.warm_entries)
+        from repro.resilience import get_checkpoint_store
+
+        self.checkpoints = get_checkpoint_store()
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._jobs: dict[str, Job] = {}
         self._queue: deque[str] = deque()
         self._closed = False
+        self._draining = False
+        self._ewma_s: float | None = None
         self._workers = [
             threading.Thread(target=self._worker_loop,
                              name=f"serve-worker-{i}", daemon=True)
@@ -376,11 +433,19 @@ class JobStore:
             ConfigurationError: Unknown method or bad config fields.
             WarmUnavailableError: ``warm_from`` names no usable state.
             ValidationError: Malformed problem document.
-            AdmissionError: Queue full, tenant over quota, or problem
-                over the ``max_edges_l`` size gate.
+            AdmissionError: Queue full, tenant over quota, problem over
+                the ``max_edges_l`` size gate, or the store is draining
+                (``code="draining"``, mapped to HTTP 503).
         """
         if not isinstance(doc, Mapping):
             raise ValidationError("request body must be a JSON object")
+        if self._draining or self._closed:
+            raise AdmissionError(
+                "draining",
+                "server is draining and no longer admits jobs; "
+                "retry against a fresh instance",
+                tenant,
+            )
         from repro.registry import canonical_config, get_solver
 
         method = doc.get("method", "bp")
@@ -407,10 +472,18 @@ class JobStore:
             # Fold the parent's cache key into the child's: a warm solve
             # and a cold solve of the same problem are distinct results.
             key = f"{key}|warm:{parent_key}"
+        deadline_s = doc.get("deadline_s")
+        if deadline_s is not None:
+            if not isinstance(deadline_s, (int, float)) or \
+                    isinstance(deadline_s, bool) or deadline_s <= 0:
+                raise ValidationError(
+                    "'deadline_s' must be a positive number of seconds"
+                )
+            deadline_s = float(deadline_s)
         job_id = "j-" + secrets.token_hex(6)
         job = Job(job_id, tenant, spec.name, config, problem, digest, key,
                   warm_from=warm_from, parent_digest=parent_digest,
-                  warm_state=warm_state)
+                  warm_state=warm_state, deadline_s=deadline_s)
 
         hit = self.cache.get(key)
         if hit is not None:
@@ -423,12 +496,19 @@ class JobStore:
             self._finish(job, "done", release=False)
             with self._lock:
                 self._jobs[job_id] = job
+            self._persist_submit(job)
             return job
 
         self.quotas.acquire(tenant)
         job.add_frame({"type": "state", "state": "queued"})
+        job._wire_problem = doc["problem"]
         with self._lock:
             self._jobs[job_id] = job
+        # Journal before the job becomes runnable: a worker must never
+        # pick up a submission the write-ahead journal does not know.
+        self._persist_submit(job)
+        job._wire_problem = None
+        with self._lock:
             self._queue.append(job_id)
             self._cond.notify()
         return job
@@ -506,6 +586,7 @@ class JobStore:
                     pass
             else:
                 job.cancel_requested = True
+                self._persist_transition(job)
                 return "cancelling"
         self._finish(job, "cancelled")
         return "cancelled"
@@ -514,6 +595,77 @@ class JobStore:
         """Jobs currently waiting for a worker (the scrape-time gauge)."""
         with self._lock:
             return len(self._queue)
+
+    def jobs(self) -> list[Job]:
+        """Every known job, in submission order."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.created_s)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`shutdown` has begun (streams should end)."""
+        return self._closed
+
+    @property
+    def draining(self) -> bool:
+        """Whether the store has stopped admitting submissions."""
+        return self._draining or self._closed
+
+    def describe(self) -> dict[str, Any]:
+        """The store's identity for ``/healthz`` (kind, persistence)."""
+        return {"kind": "memory", "path": None}
+
+    # -- persistence hooks ---------------------------------------------
+    def _persist_submit(self, job: Job) -> None:
+        """Journal a newly admitted job (no-op for the memory store)."""
+
+    def _persist_transition(self, job: Job) -> None:
+        """Journal a lifecycle transition (no-op for the memory store)."""
+
+    # -- backpressure / drain ------------------------------------------
+    def retry_after(self) -> int:
+        """Seconds a rejected client should wait before retrying.
+
+        Computed from the observed service rate: an exponentially
+        weighted moving average of per-job service times, multiplied by
+        the queue depth ahead of the client and divided across the
+        worker pool.  Before any job has finished, a one-second floor
+        answers — there is no observation to extrapolate from.
+        """
+        with self._lock:
+            depth = len(self._queue)
+            ewma = self._ewma_s
+        if ewma is None:
+            return 1
+        workers = max(self.config.workers, 1)
+        return max(1, math.ceil((depth + 1) * ewma / workers))
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Stop admitting jobs and wait for in-flight work to settle.
+
+        New submissions reject with the ``draining`` error code (HTTP
+        503) the moment this is called; queued and running jobs are
+        given ``timeout`` seconds to finish.  Jobs still unfinished when
+        the budget runs out stay journaled in their current state —
+        under a persistent store the next process recovers them, which
+        is the graceful half of SIGTERM handling.
+
+        Args:
+            timeout: Wall-clock budget for the settle phase.
+
+        Returns:
+            ``True`` when every job reached a terminal state in time.
+        """
+        with self._lock:
+            self._draining = True
+            active = [job for job in self._jobs.values()
+                      if not job.terminal]
+        deadline = time.monotonic() + timeout
+        for job in active:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not job.wait_terminal(remaining):
+                return False
+        return True
 
     def counts(self) -> dict[str, int]:
         """Jobs per state (the ``/healthz`` occupancy report)."""
@@ -549,7 +701,18 @@ class JobStore:
         if cancelled:
             self._finish(job, "cancelled")
             return
+        if job.deadline_expired():
+            # The budget ran out while the job sat in the queue; fail
+            # it without wasting a worker on a doomed solve.
+            job.error = error_envelope(
+                "deadline_exceeded",
+                f"job {job.id} spent its {job.deadline_s:g}s deadline "
+                f"waiting in the queue",
+            )
+            self._finish(job, "failed")
+            return
         job.add_frame({"type": "state", "state": "running"})
+        self._persist_transition(job)
         resilience = ResilienceConfig(
             timeout_s=self.config.timeout_s,
             max_retries=self.config.max_retries,
@@ -561,7 +724,7 @@ class JobStore:
                 and get_solver(job.method).supports_warm)
         task = (job.problem, job.method, job.config,
                 self.config.checkpoint_every, f"serve:{job.id}",
-                job.warm_state, keep)
+                self.checkpoints, job.warm_state, keep)
         bus = get_bus()
         sink = _JobProgressSink(job, threading.get_ident())
         bus.add_sink(sink)
@@ -575,10 +738,18 @@ class JobStore:
             bus.remove_sink(sink)
         job.attempts = outcome.attempts
         if not outcome.ok:
-            job.error = error_envelope(
-                "internal", str(outcome.error.message),
-                {"attempts": outcome.attempts},
-            )
+            if job._deadline_hit:
+                job.error = error_envelope(
+                    "deadline_exceeded",
+                    f"job {job.id} exceeded its deadline of "
+                    f"{job.deadline_s:g}s while running",
+                    {"attempts": outcome.attempts},
+                )
+            else:
+                job.error = error_envelope(
+                    "internal", str(outcome.error.message),
+                    {"attempts": outcome.attempts},
+                )
             self._finish(job, "failed")
             return
         payload = result_to_wire(outcome.value)
@@ -603,16 +774,29 @@ class JobStore:
         self._finish(job, "done")
 
     def _finish(self, job: Job, state: str, release: bool = True) -> None:
-        """Move ``job`` to a terminal state exactly once."""
+        """Move ``job`` to a terminal state exactly once.
+
+        The final ``state`` frame is appended *before* the terminal
+        event is set: a client streaming ``/jobs/{id}/events`` that
+        observes ``job.terminal`` is therefore guaranteed to find the
+        closing frame on its last drain instead of a truncated stream.
+        """
         with self._lock:
-            if job.terminal:
+            if job._finished:
                 return
+            job._finished = True
             job.state = state
             job.finished_s = time.time()
+            if job.started_s is not None:
+                span = job.finished_s - job.started_s
+                self._ewma_s = span if self._ewma_s is None else (
+                    0.7 * self._ewma_s + 0.3 * span
+                )
             job.problem = None  # free the arrays; the wire result remains
             job.warm_state = None
-            job._terminal.set()
         job.add_frame({"type": "state", "state": state})
+        job._terminal.set()
+        self._persist_transition(job)
         if release:
             self.quotas.release(job.tenant)
         bus = get_bus()
@@ -625,16 +809,27 @@ class JobStore:
     def shutdown(self, timeout: float = 5.0) -> None:
         """Stop the workers: cancel queued jobs, join the pool.
 
+        The join budget is *shared* across the pool (one deadline, not
+        ``timeout`` per thread), so shutdown latency is bounded no
+        matter how many workers are configured, and every worker that
+        exits in time has flushed its job's final NDJSON frames —
+        ``_finish`` appends them before the terminal event, so no
+        stream observed through the store truncates mid-drain.
+
         Args:
-            timeout: Per-thread join budget; a worker mid-solve finishes
-                its job before exiting (solves cannot be preempted).
+            timeout: Total join budget for the whole pool; a worker
+                mid-solve finishes its job before exiting (solves
+                cannot be preempted).
         """
         with self._lock:
+            if self._closed:
+                return
             self._closed = True
             pending = [self._jobs[j] for j in self._queue]
             self._queue.clear()
             self._cond.notify_all()
         for job in pending:
             self._finish(job, "cancelled")
+        deadline = time.monotonic() + timeout
         for t in self._workers:
-            t.join(timeout)
+            t.join(max(0.0, deadline - time.monotonic()))

@@ -91,6 +91,23 @@ class TenantQuotas:
             self._active_total += 1
             self._active_by_tenant[tenant] = held + 1
 
+    def restore(self, tenant: str) -> None:
+        """Re-claim a slot for a recovered job, bypassing the bounds.
+
+        Restart recovery re-admits jobs that were *already* admitted by
+        a previous process; rejecting them now would drop accepted work,
+        so the bounds are not re-checked (the journal can only hold
+        jobs that once passed them).
+
+        Args:
+            tenant: The tenant whose recovered job re-enters the queue.
+        """
+        with self._lock:
+            self._active_total += 1
+            self._active_by_tenant[tenant] = (
+                self._active_by_tenant.get(tenant, 0) + 1
+            )
+
     def release(self, tenant: str) -> None:
         """Return ``tenant``'s slot when its job reaches a terminal state.
 

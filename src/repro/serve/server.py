@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import gzip
 import json
 import threading
 import time
@@ -65,18 +66,21 @@ _REASONS = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 409: "Conflict", 410: "Gone",
     413: "Payload Too Large", 429: "Too Many Requests",
-    500: "Internal Server Error", 504: "Gateway Timeout",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
 class _HttpError(Exception):
     """An error that maps directly to a status + envelope response."""
 
-    def __init__(self, status: int, code: str, message: str) -> None:
+    def __init__(self, status: int, code: str, message: str,
+                 headers: tuple[str, ...] = ()) -> None:
         super().__init__(message)
         self.status = status
         self.code = code
         self.message = message
+        self.headers = headers
 
 
 async def _read_request(
@@ -187,8 +191,10 @@ class AlignmentServer:
 
     def __init__(self, config: ServeConfig | None = None,
                  store: JobStore | None = None) -> None:
+        from repro.serve.store import make_store
+
         self.config = config if config is not None else ServeConfig()
-        self.store = store if store is not None else JobStore(self.config)
+        self.store = store if store is not None else make_store(self.config)
         self.telemetry: ServeTelemetry | None = (
             ServeTelemetry() if self.config.telemetry else None
         )
@@ -250,6 +256,7 @@ class AlignmentServer:
                 await self._send_json(
                     ctx, exc.status,
                     error_envelope(exc.code, exc.message),
+                    extra=exc.headers,
                 )
             except (ConnectionError, asyncio.IncompleteReadError):
                 pass
@@ -316,7 +323,7 @@ class AlignmentServer:
             elif tail == "" and method == "DELETE":
                 await self._delete_job(ctx, job_id)
             elif tail == "result" and method == "GET":
-                await self._get_result(ctx, job)
+                await self._get_result(ctx, job, headers)
             elif tail == "events" and method == "GET":
                 await self._stream_events(ctx, job)
             else:
@@ -344,6 +351,8 @@ class AlignmentServer:
             "cache": self.store.cache.stats(),
             "warm": self.store.warm.stats(),
             "quotas": self.store.quotas.snapshot(),
+            "store": self.store.describe(),
+            "draining": self.store.draining,
         }
 
     async def _get_metrics(self, ctx: _Ctx,
@@ -389,8 +398,14 @@ class AlignmentServer:
         try:
             job = self.store.submit(doc, tenant)
         except AdmissionError as exc:
-            status = 413 if exc.code == "too_large" else 429
-            raise _HttpError(status, exc.code, str(exc)) from None
+            if exc.code == "too_large":
+                raise _HttpError(413, exc.code, str(exc)) from None
+            # Backpressure (429) and drain (503) responses tell the
+            # client when to come back, from observed service rates.
+            retry = (f"Retry-After: {self.store.retry_after()}",)
+            status = 503 if exc.code == "draining" else 429
+            raise _HttpError(status, exc.code, str(exc),
+                             headers=retry) from None
         except WarmUnavailableError as exc:
             raise _HttpError(400, "warm_unavailable", str(exc)) from None
         except (ConfigurationError, ValidationError) as exc:
@@ -425,13 +440,34 @@ class AlignmentServer:
         assert job is not None
         await self._send_json(ctx, 200, job.snapshot())
 
-    async def _get_result(self, ctx: _Ctx, job: Job) -> None:
-        """Handle ``GET /jobs/{id}/result``."""
+    async def _get_result(self, ctx: _Ctx, job: Job,
+                          headers: dict[str, str]) -> None:
+        """Handle ``GET /jobs/{id}/result``.
+
+        A done result is gzip-compressed when the client advertises
+        ``Accept-Encoding: gzip`` — large matchings shrink severalfold
+        on the wire (the ROADMAP's "result compression" item).
+        """
         snap = job.snapshot()
         state = snap["state"]
         if state == "done":
             payload = dict(job.result or {})
             payload["cached"] = job.cached
+            accepted = headers.get("accept-encoding", "")
+            if "gzip" in (tok.split(";")[0].strip()
+                          for tok in accepted.split(",")):
+                data = gzip.compress(
+                    json.dumps(payload, sort_keys=True).encode("utf-8"),
+                    mtime=0,
+                )
+                ctx.status = 200
+                ctx.writer.write(_head(
+                    200, "application/json", len(data),
+                    ctx.extra_headers() + ("Content-Encoding: gzip",),
+                ))
+                ctx.writer.write(data)
+                await ctx.writer.drain()
+                return
             await self._send_json(ctx, 200, payload)
             return
         if state == "failed":
@@ -451,6 +487,10 @@ class AlignmentServer:
 
         Frames already recorded are flushed immediately; new ones are
         polled every 20 ms until the job is terminal and fully drained.
+        The terminal frame is appended before the terminal event is
+        set (see ``JobStore._finish``), so a stream never closes with
+        the final ``state`` frame missing; a store shutdown ends the
+        stream after one last drain instead of polling forever.
         """
         ctx.status = 200
         writer = ctx.writer
@@ -458,6 +498,7 @@ class AlignmentServer:
                            ctx.extra_headers()))
         sent = 0
         while True:
+            closing = self.store.closed
             frames = job.frames_since(sent)
             for frame in frames:
                 writer.write(
@@ -467,15 +508,18 @@ class AlignmentServer:
             await writer.drain()
             if job.terminal and not job.frames_since(sent):
                 return
+            if closing:
+                return
             await asyncio.sleep(0.02)
 
     async def _send_json(self, ctx: _Ctx, status: int,
-                         body: dict[str, Any]) -> None:
+                         body: dict[str, Any],
+                         extra: tuple[str, ...] = ()) -> None:
         """Write one complete JSON response."""
         ctx.status = status
         data = json.dumps(body, sort_keys=True).encode("utf-8")
         ctx.writer.write(_head(status, "application/json", len(data),
-                               ctx.extra_headers()))
+                               ctx.extra_headers() + extra))
         ctx.writer.write(data)
         await ctx.writer.drain()
 

@@ -41,6 +41,7 @@ __all__ = [
     "METRIC_CACHE_ENTRIES",
     "METRIC_CACHE_HIT_RATIO",
     "METRIC_DEGRADED",
+    "METRIC_DRAINING",
     "METRIC_IN_FLIGHT",
     "METRIC_LATENCY",
     "METRIC_QUEUE_DEPTH",
@@ -74,6 +75,8 @@ METRIC_BREAKER_OPEN = "repro_serve_breaker_open"
 METRIC_DEGRADED = "repro_serve_degraded_total"
 #: Supervised retry events observed while serving, labeled ``site``.
 METRIC_RETRY_EVENTS = "repro_serve_retry_events_total"
+#: Whether the store has stopped admitting jobs (gauge, 0 or 1).
+METRIC_DRAINING = "repro_serve_draining"
 
 #: Latency histogram bounds tuned for HTTP round trips (seconds).
 HTTP_LATENCY_BUCKETS: tuple[float, ...] = (
@@ -134,6 +137,7 @@ class ServeTelemetry:
         self.registry.gauge(METRIC_CACHE_ENTRIES)
         self.registry.gauge(METRIC_CACHE_HIT_RATIO)
         self.registry.gauge(METRIC_WARM_ENTRIES)
+        self.registry.gauge(METRIC_DRAINING)
         self.registry.gauge(METRIC_BREAKER_OPEN, site="serve.job")
         for route in ("/jobs", "/metrics"):
             self.registry.histogram(
@@ -215,3 +219,5 @@ class ServeTelemetry:
             self.registry.gauge(METRIC_CACHE_HIT_RATIO).set(ratio)
             self.registry.gauge(METRIC_WARM_ENTRIES).set(
                 store.warm.stats()["entries"])
+            self.registry.gauge(METRIC_DRAINING).set(
+                1.0 if store.draining else 0.0)

@@ -24,6 +24,24 @@ class TestParser:
         args = build_parser().parse_args(["fig2", "--degrees", "3", "7"])
         assert args.degrees == [3.0, 7.0]
 
+    def test_serve_store_and_jobs_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--store-path", "runs/jobs",
+             "--drain-timeout", "3"])
+        assert args.store_path == "runs/jobs"
+        assert args.drain_timeout == 3.0
+        args = parser.parse_args(["jobs", "ls", "runs/jobs"])
+        assert args.jobs_command == "ls"
+        args = parser.parse_args(
+            ["jobs", "gc", "runs/jobs", "--older-than", "60"])
+        assert args.jobs_command == "gc" and args.older_than == 60.0
+
+    def test_metrics_format_text_accepted(self):
+        args = build_parser().parse_args(
+            ["--metrics-format", "text", "headline"])
+        assert args.metrics_format == "text"
+
 
 class TestCommands:
     def test_table2(self, capsys):
@@ -150,3 +168,43 @@ class TestCommands:
         save_alignment_problem(directory, inst.problem)
         main(["solve", directory, "--iters", "3", "--matcher", "suitor"])
         assert "objective=" in capsys.readouterr().out
+
+    def test_metrics_out_text_has_quantiles(self, tmp_path, capsys):
+        from repro.generators.io import save_alignment_problem
+        from repro.generators.synthetic import powerlaw_alignment_instance
+
+        inst = powerlaw_alignment_instance(n=20, expected_degree=3, seed=7)
+        directory = str(tmp_path / "prob")
+        save_alignment_problem(directory, inst.problem)
+        metrics = str(tmp_path / "metrics.txt")
+        main(["--metrics-out", metrics, "--metrics-format", "text",
+              "solve", directory, "--iters", "3"])
+        capsys.readouterr()
+        text = open(metrics, encoding="utf-8").read()
+        assert "p50=" in text and "p95=" in text and "p99=" in text
+
+    def test_jobs_ls_and_gc(self, tmp_path, capsys):
+        from repro.generators.synthetic import powerlaw_alignment_instance
+        from repro.serve import ServeConfig, SqliteJobStore, problem_to_wire
+
+        store_path = str(tmp_path / "store")
+        cfg = ServeConfig(port=0, workers=1, store="sqlite",
+                          store_path=store_path)
+        store = SqliteJobStore(cfg)
+        try:
+            inst = powerlaw_alignment_instance(n=20, expected_degree=3,
+                                               seed=8)
+            doc = {"method": "bp",
+                   "config": {"n_iter": 3, "matcher": "approx"},
+                   "problem": problem_to_wire(inst.problem)}
+            job = store.submit(doc, "default")
+            assert job.wait_terminal(30.0)
+        finally:
+            store.shutdown()
+        main(["jobs", "ls", store_path])
+        out = capsys.readouterr().out
+        assert job.id in out and "done" in out
+        main(["jobs", "gc", store_path])
+        assert "deleted 1" in capsys.readouterr().out
+        main(["jobs", "ls", store_path])
+        assert "no journaled jobs" in capsys.readouterr().out

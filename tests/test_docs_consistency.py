@@ -158,7 +158,7 @@ _BLOCK_RE = re.compile(r"```(request|response|python)\n(.*?)```", re.DOTALL)
 SERVE_ERROR_CODES = (
     "bad_request", "warm_unavailable", "not_found", "method_not_allowed",
     "conflict", "gone", "too_large", "quota_exceeded", "queue_full",
-    "timeout", "internal",
+    "timeout", "internal", "deadline_exceeded", "draining",
 )
 
 #: Every route the server exposes (docs must show each one).

@@ -34,10 +34,12 @@ from repro.observe import (
     NullSink,
     OTLPExporter,
     PrometheusExporter,
+    histogram_quantile,
     make_sink,
     merged_rows,
     otlp_json,
     prometheus_text,
+    text_summary,
 )
 from repro.observe.events import Event
 
@@ -330,3 +332,67 @@ class TestSinkRegistry:
             JSONLSink()
         with pytest.raises(ObservabilityError, match="exactly one"):
             JSONLSink(str(tmp_path / "a.jsonl"), stream=io.StringIO())
+
+
+class TestHistogramQuantile:
+    def _row(self, buckets, values):
+        reg = MetricsRegistry()
+        hist = reg.histogram("q_seconds", buckets=buckets)
+        for v in values:
+            hist.observe(v)
+        return reg.snapshot()[0]
+
+    def test_interpolates_within_buckets(self):
+        # Five uniform values in one (0, 10] bucket: the interpolated
+        # median sits at the true median because the edges come from
+        # the recorded min/max, not the nominal bucket bounds.
+        row = self._row((10.0,), [1.0, 2.0, 3.0, 4.0, 5.0])
+        assert histogram_quantile(row, 0.5) == pytest.approx(3.0)
+        assert histogram_quantile(row, 0.0) == pytest.approx(1.0)
+        assert histogram_quantile(row, 1.0) == pytest.approx(5.0)
+
+    def test_spans_multiple_buckets(self):
+        row = self._row((0.1, 0.5, 1.0), [0.05, 0.2, 0.3, 0.9, 7.0])
+        # rank 2.5 of 5 lands 0.75 of the way through the (0.1, 0.5]
+        # bucket, which holds ranks 2 and 3.
+        assert histogram_quantile(row, 0.5) == pytest.approx(0.4)
+        # The overflow bucket's upper edge is the observed max.
+        assert histogram_quantile(row, 0.99) <= 7.0
+
+    def test_empty_histogram_is_none(self):
+        row = self._row((1.0,), [])
+        assert histogram_quantile(row, 0.5) is None
+
+    def test_rejects_bad_inputs(self):
+        row = self._row((1.0,), [0.5])
+        with pytest.raises(ObservabilityError):
+            histogram_quantile(row, 1.5)
+        reg = MetricsRegistry()
+        reg.counter("n_total").inc()
+        with pytest.raises(ObservabilityError):
+            histogram_quantile(reg.snapshot()[0], 0.5)
+
+
+class TestTextSummary:
+    def test_summarizes_all_metric_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("demo_requests_total", route="/jobs").inc(3)
+        reg.gauge("demo_depth").set(2)
+        hist = reg.histogram("demo_seconds", buckets=(0.1, 1.0),
+                             route="/jobs")
+        for v in (0.05, 0.2, 0.4):
+            hist.observe(v)
+        text = text_summary(reg)
+        assert 'demo_requests_total{route="/jobs"}  3' in text
+        assert "demo_depth  2" in text
+        line = next(l for l in text.splitlines()
+                    if l.startswith("demo_seconds"))
+        assert "count=3" in line
+        for marker in ("mean=", "p50=", "p95=", "p99="):
+            assert marker in line
+
+    def test_empty_histogram_and_registry(self):
+        reg = MetricsRegistry()
+        reg.histogram("idle_seconds", buckets=(1.0,))
+        assert "count=0" in text_summary(reg)
+        assert text_summary(MetricsRegistry()) == ""
